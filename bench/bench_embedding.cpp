@@ -1,0 +1,64 @@
+// Experiment E12 (Section 7 discussion): cost and quality of computing the
+// offline cellular embedding.
+//
+// The paper notes minimum-genus embedding is NP-hard in general, linear-time
+// algorithms exist for fixed genus, and O(n) algorithms exist for planar
+// graphs; it defers implementation analysis to future work.  This bench
+// supplies that analysis for our embedder: wall-clock time, achieved genus
+// and PR-safety per strategy across the bundled and synthetic topologies.
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+
+#include "embed/embedder.hpp"
+#include "graph/generators.hpp"
+#include "topo/topologies.hpp"
+
+int main() {
+  using namespace pr;
+  using Clock = std::chrono::steady_clock;
+
+  graph::Rng rng(2026);
+  const std::pair<std::string, graph::Graph> graphs[] = {
+      {"figure1", topo::figure1()},
+      {"abilene", topo::abilene()},
+      {"teleglobe", topo::teleglobe()},
+      {"geant", topo::geant()},
+      {"petersen", graph::petersen()},
+      {"k5", graph::k5()},
+      {"torus6x6", graph::torus(6, 6)},
+      {"grid10x10", graph::grid(10, 10)},
+      {"rand-2ec-40", graph::random_two_edge_connected(40, 30, rng)},
+      {"outerplanar-60", graph::random_outerplanar(60, 30, rng)},
+  };
+
+  std::cout << std::left << std::setw(16) << "graph" << std::setw(8) << "nodes"
+            << std::setw(8) << "links" << std::setw(12) << "strategy" << std::setw(8)
+            << "genus" << std::setw(8) << "faces" << std::setw(10) << "PR-safe"
+            << std::setw(12) << "avg-cycle" << "time\n";
+
+  for (const auto& [name, g] : graphs) {
+    for (const auto strategy :
+         {embed::EmbedStrategy::kAuto, embed::EmbedStrategy::kIdentity}) {
+      embed::EmbedOptions opts;
+      opts.strategy = strategy;
+      const auto start = Clock::now();
+      const auto emb = embed::embed(g, opts);
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);
+      std::cout << std::left << std::setw(16) << name << std::setw(8) << g.node_count()
+                << std::setw(8) << g.edge_count() << std::setw(12)
+                << (strategy == embed::EmbedStrategy::kAuto
+                        ? (emb.strategy_used == embed::EmbedStrategy::kPlanar
+                               ? "auto/dmp"
+                               : "auto/search")
+                        : "identity")
+                << std::setw(8) << emb.genus << std::setw(8) << emb.faces.face_count()
+                << std::setw(10) << (emb.supports_pr() ? "yes" : "no") << std::setw(12)
+                << std::fixed << std::setprecision(2)
+                << emb.faces.average_face_length() << std::defaultfloat
+                << elapsed.count() / 1000.0 << " ms\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 2(a): Abilene stretch CCDF, 1 failure(s).
+#include "figure2_common.hpp"
+#include "topo/topologies.hpp"
+
+int main() {
+  const auto g = pr::topo::abilene();
+  pr::bench::PanelConfig cfg;
+  cfg.panel = "Figure 2(a)";
+  cfg.topology = "Abilene";
+  cfg.failures = 1;
+  return pr::bench::run_figure2_panel(g, cfg);
+}

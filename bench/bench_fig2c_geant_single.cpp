@@ -1,0 +1,12 @@
+// Reproduces Figure 2(c): Geant stretch CCDF, 1 failure(s).
+#include "figure2_common.hpp"
+#include "topo/topologies.hpp"
+
+int main() {
+  const auto g = pr::topo::geant();
+  pr::bench::PanelConfig cfg;
+  cfg.panel = "Figure 2(c)";
+  cfg.topology = "Geant";
+  cfg.failures = 1;
+  return pr::bench::run_figure2_panel(g, cfg);
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 2(d): Abilene stretch CCDF, 4 failure(s).
+#include "figure2_common.hpp"
+#include "topo/topologies.hpp"
+
+int main() {
+  const auto g = pr::topo::abilene();
+  pr::bench::PanelConfig cfg;
+  cfg.panel = "Figure 2(d)";
+  cfg.topology = "Abilene";
+  cfg.failures = 4;
+  return pr::bench::run_figure2_panel(g, cfg);
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 2(e): Teleglobe stretch CCDF, 10 failure(s).
+#include "figure2_common.hpp"
+#include "topo/topologies.hpp"
+
+int main() {
+  const auto g = pr::topo::teleglobe();
+  pr::bench::PanelConfig cfg;
+  cfg.panel = "Figure 2(e)";
+  cfg.topology = "Teleglobe";
+  cfg.failures = 10;
+  return pr::bench::run_figure2_panel(g, cfg);
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 2(f): Geant stretch CCDF, 16 failure(s).
+#include "figure2_common.hpp"
+#include "topo/topologies.hpp"
+
+int main() {
+  const auto g = pr::topo::geant();
+  pr::bench::PanelConfig cfg;
+  cfg.panel = "Figure 2(f)";
+  cfg.topology = "Geant";
+  cfg.failures = 16;
+  return pr::bench::run_figure2_panel(g, cfg);
+}

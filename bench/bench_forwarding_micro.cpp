@@ -1,0 +1,172 @@
+// Experiment E10 (Section 6 in-text claim): "the extra memory and packet
+// processing time required to implement it at each router are insignificant".
+//
+// google-benchmark microbenchmarks of the per-packet forwarding decision:
+//   * plain SPF table lookup (the baseline every router already pays),
+//   * PR in normal mode (identical lookup),
+//   * PR at the failure-detection hop (stamp + complementary lookup),
+//   * PR in cycle-following mode (one phi lookup),
+//   * FCP at a failure (SPF recomputation, amortised by its cache),
+// plus table-construction costs (embedding, cycle tables, routing tables).
+#include <benchmark/benchmark.h>
+
+#include "analysis/protocols.hpp"
+#include "route/fcp.hpp"
+#include "route/static_spf.hpp"
+#include "topo/topologies.hpp"
+
+namespace {
+
+using namespace pr;
+
+struct Env {
+  Env()
+      : g(topo::geant()),
+        suite(g),
+        network(g),
+        spf(suite.routes()),
+        pr(suite.routes(), suite.cycle_table()),
+        pr_cf(suite.routes(), suite.cycle_table()) {
+    // A failed link on the shortest path from src toward dst.
+    src = *g.find_node("PT");
+    dst = *g.find_node("FI");
+    const auto out = suite.routes().next_dart(src, dst);
+    failed_edge = graph::dart_edge(out);
+  }
+
+  graph::Graph g;
+  analysis::ProtocolSuite suite;
+  net::Network network;
+  route::StaticSpf spf;
+  core::PacketRecycling pr;
+  core::PacketRecycling pr_cf;
+  graph::NodeId src;
+  graph::NodeId dst;
+  graph::EdgeId failed_edge;
+};
+
+Env& env() {
+  static Env instance;
+  return instance;
+}
+
+net::Packet make_packet(graph::NodeId s, graph::NodeId t) {
+  net::Packet p;
+  p.source = s;
+  p.destination = t;
+  p.ttl = 255;
+  return p;
+}
+
+void BM_SpfLookup(benchmark::State& state) {
+  auto& e = env();
+  e.network.reset();
+  for (auto _ : state) {
+    auto packet = make_packet(e.src, e.dst);
+    benchmark::DoNotOptimize(e.spf.forward(e.network, e.src, graph::kInvalidDart, packet));
+  }
+}
+BENCHMARK(BM_SpfLookup);
+
+void BM_PrNormalMode(benchmark::State& state) {
+  auto& e = env();
+  e.network.reset();
+  for (auto _ : state) {
+    auto packet = make_packet(e.src, e.dst);
+    benchmark::DoNotOptimize(e.pr.forward(e.network, e.src, graph::kInvalidDart, packet));
+  }
+}
+BENCHMARK(BM_PrNormalMode);
+
+void BM_PrFailureDetection(benchmark::State& state) {
+  auto& e = env();
+  e.network.reset();
+  e.network.fail_link(e.failed_edge);
+  for (auto _ : state) {
+    auto packet = make_packet(e.src, e.dst);
+    benchmark::DoNotOptimize(e.pr.forward(e.network, e.src, graph::kInvalidDart, packet));
+  }
+  e.network.reset();
+}
+BENCHMARK(BM_PrFailureDetection);
+
+void BM_PrCycleFollowing(benchmark::State& state) {
+  auto& e = env();
+  e.network.reset();
+  // A marked packet arriving over some interface at an intermediate node.
+  const graph::DartId arrived = e.g.out_darts(e.src)[0];
+  const graph::NodeId at = e.g.dart_head(arrived);
+  for (auto _ : state) {
+    auto packet = make_packet(e.src, e.dst);
+    packet.pr_bit = true;
+    packet.dd = 6;
+    benchmark::DoNotOptimize(e.pr_cf.forward(e.network, at, arrived, packet));
+  }
+}
+BENCHMARK(BM_PrCycleFollowing);
+
+void BM_FcpColdRecompute(benchmark::State& state) {
+  auto& e = env();
+  e.network.reset();
+  e.network.fail_link(e.failed_edge);
+  for (auto _ : state) {
+    state.PauseTiming();
+    route::FcpRouting fcp(e.g);  // cold cache: every decision recomputes SPF
+    state.ResumeTiming();
+    auto packet = make_packet(e.src, e.dst);
+    benchmark::DoNotOptimize(fcp.forward(e.network, e.src, graph::kInvalidDart, packet));
+  }
+  e.network.reset();
+}
+BENCHMARK(BM_FcpColdRecompute);
+
+void BM_FcpWarmCache(benchmark::State& state) {
+  auto& e = env();
+  e.network.reset();
+  e.network.fail_link(e.failed_edge);
+  route::FcpRouting fcp(e.g);
+  {
+    auto packet = make_packet(e.src, e.dst);
+    (void)fcp.forward(e.network, e.src, graph::kInvalidDart, packet);  // warm up
+  }
+  for (auto _ : state) {
+    auto packet = make_packet(e.src, e.dst);
+    packet.fcp_failures.push_back(e.failed_edge);
+    benchmark::DoNotOptimize(fcp.forward(e.network, e.src, graph::kInvalidDart, packet));
+  }
+  e.network.reset();
+}
+BENCHMARK(BM_FcpWarmCache);
+
+// -- one-off table construction costs (PR's offline phase) --
+
+void BM_BuildRoutingDb(benchmark::State& state) {
+  auto& e = env();
+  for (auto _ : state) {
+    route::RoutingDb db(e.g);
+    benchmark::DoNotOptimize(db);
+  }
+}
+BENCHMARK(BM_BuildRoutingDb);
+
+void BM_BuildCycleTables(benchmark::State& state) {
+  auto& e = env();
+  for (auto _ : state) {
+    core::CycleFollowingTable table(e.suite.embedding().rotation);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_BuildCycleTables);
+
+void BM_PlanarEmbedding(benchmark::State& state) {
+  auto& e = env();
+  for (auto _ : state) {
+    auto result = embed::planar_embedding(e.g);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PlanarEmbedding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Experiment E8 (Section 6 in-text claims): per-packet header overhead.
+//
+// PR needs 1 PR bit + ceil(log2(d+1)) DD bits, where d is the hop diameter;
+// the paper proposes carrying them in DSCP pool 2 (4 free bits).  FCP instead
+// carries the list of failed links the packet has learned, which grows
+// without bound; this bench prices both on every bundled topology.
+#include <iomanip>
+#include <iostream>
+
+#include "graph/dijkstra.hpp"
+#include "net/header_codec.hpp"
+#include "route/routing_db.hpp"
+#include "topo/topologies.hpp"
+
+int main() {
+  using namespace pr;
+  std::cout << "Per-packet header overhead: Packet Re-cycling vs FCP\n\n";
+  std::cout << std::left << std::setw(12) << "topology" << std::setw(8) << "nodes"
+            << std::setw(8) << "links" << std::setw(10) << "hop-diam" << std::setw(10)
+            << "PR bits" << std::setw(12) << "fits-DSCP" << std::setw(14)
+            << "FCP@1fail" << std::setw(14) << "FCP@4fails" << "FCP@16fails\n";
+
+  const std::pair<const char*, graph::Graph> topologies[] = {
+      {"figure1", topo::figure1()},
+      {"abilene", topo::abilene()},
+      {"teleglobe", topo::teleglobe()},
+      {"geant", topo::geant()},
+  };
+  for (const auto& [name, g] : topologies) {
+    const auto d = graph::hop_diameter(g);
+    const auto layout = net::PrHeaderLayout::for_hop_diameter(d);
+    std::cout << std::left << std::setw(12) << name << std::setw(8) << g.node_count()
+              << std::setw(8) << g.edge_count() << std::setw(10) << d << std::setw(10)
+              << layout.total_bits() << std::setw(12)
+              << (layout.fits_dscp_pool2() ? "yes" : "no") << std::setw(14)
+              << net::fcp_header_bits(1, g.edge_count()) << std::setw(14)
+              << net::fcp_header_bits(4, g.edge_count())
+              << net::fcp_header_bits(16, g.edge_count()) << "\n";
+  }
+
+  std::cout << "\nDD discriminator alternatives (ablation A4), weighted vs hops:\n";
+  std::cout << std::left << std::setw(12) << "topology" << std::setw(14) << "max-dd-hops"
+            << std::setw(14) << "bits(hops)" << std::setw(16) << "max-dd-weighted"
+            << "bits(weighted)\n";
+  for (const auto& [name, g] : topologies) {
+    const route::RoutingDb hops(g, nullptr, route::DiscriminatorKind::kHops);
+    const route::RoutingDb weighted(g, nullptr, route::DiscriminatorKind::kWeightedCost);
+    std::cout << std::left << std::setw(12) << name << std::setw(14)
+              << hops.max_discriminator() << std::setw(14)
+              << 1 + net::bits_for_value(hops.max_discriminator()) << std::setw(16)
+              << weighted.max_discriminator()
+              << 1 + net::bits_for_value(weighted.max_discriminator()) << "\n";
+  }
+
+  std::cout << "\nDSCP pool-2 codepoint example (Abilene, PR in cycle-following mode,"
+               " dd=3):\n";
+  const auto layout = net::PrHeaderLayout::for_hop_diameter(5);
+  const auto code = net::encode_dscp(layout, true, 3);
+  std::cout << "  codepoint = 0b";
+  for (int b = 5; b >= 0; --b) std::cout << ((code >> b) & 1);
+  const auto decoded = net::decode_dscp(layout, code);
+  std::cout << "  (decodes to pr=" << decoded.pr_bit << " dd=" << decoded.dd << ")\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Table 1: the cycle-following table at node D of the Figure 1
+// network, under the paper's exact embedding, plus the tables of every other
+// router for completeness.
+#include <iostream>
+
+#include "core/cycle_table.hpp"
+#include "embed/faces.hpp"
+#include "topo/topologies.hpp"
+
+int main() {
+  using namespace pr;
+  const graph::Graph g = topo::figure1();
+  const embed::RotationSystem rotation = topo::figure1_rotation(g);
+  const embed::FaceSet faces = embed::trace_faces(rotation);
+  const core::CycleFollowingTable cycles(rotation);
+
+  std::cout << "Cellular cycles of the Figure 1 embedding:\n";
+  for (std::size_t i = 0; i < faces.face_count(); ++i) {
+    std::cout << "  c" << i + 1 << ": " << embed::face_to_string(g, faces.faces[i])
+              << "\n";
+  }
+  std::cout << "\nTable 1 (paper) -- cycle following table at node D:\n";
+  std::cout << cycles.render_table(*g.find_node("D"), faces) << "\n";
+
+  std::cout << "Tables at the remaining routers:\n";
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.node_label(v) == "D") continue;
+    std::cout << cycles.render_table(v, faces) << "\n";
+  }
+  return 0;
+}

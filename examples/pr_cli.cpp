@@ -1,0 +1,173 @@
+// pr_cli: command-line what-if tool over the library.
+//
+//   pr_cli [--topology abilene|geant|teleglobe|figure1] [--load FILE]
+//          [--fail U-V]... [--protocol pr|pr-1bit|fcp|lfa|spf|reconvergence]
+//          [--route SRC DST]... [--summary]
+//
+// Examples:
+//   pr_cli --topology abilene --fail Denver-KansasCity --route Seattle Houston
+//   pr_cli --topology geant --fail DE-FR --fail FR-UK --summary
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "analysis/protocols.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/graphio.hpp"
+#include "topo/topologies.hpp"
+
+namespace {
+
+using namespace pr;
+
+[[noreturn]] void usage(const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n";
+  std::cerr << "usage: pr_cli [--topology abilene|geant|teleglobe|figure1]\n"
+               "              [--load FILE] [--fail U-V]...\n"
+               "              [--protocol pr|pr-1bit|fcp|lfa|spf|reconvergence]\n"
+               "              [--route SRC DST]... [--summary]\n";
+  std::exit(error.empty() ? 0 : 1);
+}
+
+graph::NodeId need_node(const graph::Graph& g, const std::string& label) {
+  if (const auto v = g.find_node(label)) return *v;
+  usage("unknown node '" + label + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string topology = "abilene";
+  std::string load_file;
+  std::string protocol = "pr";
+  std::vector<std::string> fail_specs;
+  std::vector<std::pair<std::string, std::string>> routes;
+  bool summary = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--topology") {
+      topology = next();
+    } else if (arg == "--load") {
+      load_file = next();
+    } else if (arg == "--fail") {
+      fail_specs.push_back(next());
+    } else if (arg == "--protocol") {
+      protocol = next();
+    } else if (arg == "--route") {
+      const auto src = next();
+      routes.emplace_back(src, next());
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage("unknown argument '" + arg + "'");
+    }
+  }
+
+  graph::Graph g;
+  if (!load_file.empty()) {
+    std::ifstream in(load_file);
+    if (!in) usage("cannot open " + load_file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    g = graph::from_edge_list(text.str());
+  } else if (topology == "abilene") {
+    g = topo::abilene();
+  } else if (topology == "geant") {
+    g = topo::geant();
+  } else if (topology == "teleglobe") {
+    g = topo::teleglobe();
+  } else if (topology == "figure1") {
+    g = topo::figure1();
+  } else {
+    usage("unknown topology '" + topology + "'");
+  }
+
+  const analysis::ProtocolSuite suite(g);
+  analysis::NamedFactory factory = suite.pr();
+  if (protocol == "pr") {
+    factory = suite.pr();
+  } else if (protocol == "pr-1bit") {
+    factory = suite.pr_single_bit();
+  } else if (protocol == "fcp") {
+    factory = suite.fcp();
+  } else if (protocol == "lfa") {
+    factory = suite.lfa();
+  } else if (protocol == "spf") {
+    factory = suite.spf();
+  } else if (protocol == "reconvergence") {
+    factory = suite.reconvergence();
+  } else {
+    usage("unknown protocol '" + protocol + "'");
+  }
+
+  net::Network network(g);
+  for (const auto& spec : fail_specs) {
+    const auto dash = spec.find('-');
+    if (dash == std::string::npos) usage("--fail expects U-V, got '" + spec + "'");
+    const auto u = need_node(g, spec.substr(0, dash));
+    const auto v = need_node(g, spec.substr(dash + 1));
+    const auto e = g.find_edge(u, v);
+    if (!e) usage("no link " + spec);
+    network.fail_link(*e);
+  }
+
+  std::cout << "topology: " << (load_file.empty() ? topology : load_file) << " ("
+            << g.node_count() << " nodes, " << g.edge_count() << " links), "
+            << network.failure_count() << " failed link(s), protocol "
+            << factory.name << "\n";
+  if (network.failure_count() > 0 &&
+      !graph::is_connected(g, &network.failed_links())) {
+    std::cout << "warning: the failure set PARTITIONS the network\n";
+  }
+
+  const auto proto = factory.make(network);
+  if (routes.empty() && !summary) summary = true;
+
+  for (const auto& [src_label, dst_label] : routes) {
+    const auto s = need_node(g, src_label);
+    const auto t = need_node(g, dst_label);
+    const auto trace = net::route_packet(network, *proto, s, t);
+    std::cout << "\n" << src_label << " -> " << dst_label << ": ";
+    if (trace.delivered()) {
+      std::cout << "delivered, " << trace.hops << " hops, cost " << trace.cost << "\n  ";
+      for (std::size_t i = 0; i < trace.nodes.size(); ++i) {
+        std::cout << (i ? " > " : "") << g.display_name(trace.nodes[i]);
+      }
+      std::cout << "\n";
+    } else {
+      std::cout << "DROPPED\n";
+    }
+  }
+
+  if (summary) {
+    std::size_t delivered = 0;
+    std::size_t dropped = 0;
+    double worst = 0;
+    for (graph::NodeId s = 0; s < g.node_count(); ++s) {
+      for (graph::NodeId t = 0; t < g.node_count(); ++t) {
+        if (s == t) continue;
+        const auto fresh = factory.make(network);
+        const auto trace = net::route_packet(network, *fresh, s, t);
+        if (trace.delivered()) {
+          ++delivered;
+          if (suite.routes().reachable(s, t)) {
+            worst = std::max(worst, trace.cost / suite.routes().cost(s, t));
+          }
+        } else {
+          ++dropped;
+        }
+      }
+    }
+    std::cout << "\nall-pairs: " << delivered << " delivered, " << dropped
+              << " dropped, worst stretch " << worst << "\n";
+  }
+  return 0;
+}

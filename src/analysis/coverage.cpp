@@ -1,0 +1,55 @@
+#include "analysis/coverage.hpp"
+
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+
+namespace pr::analysis {
+
+using graph::NodeId;
+
+CoverageResult run_coverage_experiment(const graph::Graph& g,
+                                       std::span<const graph::EdgeSet> scenarios,
+                                       const std::vector<NamedFactory>& protocols) {
+  if (protocols.empty()) {
+    throw std::invalid_argument("run_coverage_experiment: no protocols given");
+  }
+  const route::RoutingDb pristine(g);
+
+  CoverageResult result;
+  result.scenarios = scenarios.size();
+  for (const auto& p : protocols) {
+    result.protocols.push_back(ProtocolCoverage{p.name, 0, 0, 0});
+  }
+
+  for (const auto& failures : scenarios) {
+    net::Network network(g);
+    for (graph::EdgeId e : failures.elements()) network.fail_link(e);
+    const auto components = graph::connected_components(g, &failures);
+
+    std::vector<std::unique_ptr<net::ForwardingProtocol>> instances;
+    instances.reserve(protocols.size());
+    for (const auto& p : protocols) instances.push_back(p.make(network));
+
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      for (NodeId t = 0; t < g.node_count(); ++t) {
+        if (s == t || !path_affected(pristine, s, t, failures)) continue;
+        const bool recoverable = components[s] == components[t];
+        for (std::size_t i = 0; i < instances.size(); ++i) {
+          const auto trace = net::route_packet(network, *instances[i], s, t);
+          auto& agg = result.protocols[i];
+          if (trace.delivered()) {
+            ++agg.delivered;
+          } else if (recoverable) {
+            ++agg.dropped_reachable;
+          } else {
+            ++agg.dropped_partitioned;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pr::analysis

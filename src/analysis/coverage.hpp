@@ -1,0 +1,52 @@
+// Repair-coverage analysis (ablation A2): what fraction of failure scenarios
+// does each scheme actually survive?
+//
+// For every scenario and every ordered affected pair we classify the outcome:
+//   delivered          -- the packet reached its destination;
+//   dropped-reachable  -- it was lost although a path still existed (a
+//                         protocol coverage gap: LFA without an alternate,
+//                         the 1-bit PR variant looping until TTL, ...);
+//   dropped-partition  -- no path existed; no scheme can deliver.
+// PR with DD bits must show zero dropped-reachable -- that is the paper's
+// central guarantee -- and the property suites enforce it.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/stretch.hpp"
+
+namespace pr::analysis {
+
+struct ProtocolCoverage {
+  std::string name;
+  std::size_t delivered = 0;
+  std::size_t dropped_reachable = 0;
+  std::size_t dropped_partitioned = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return delivered + dropped_reachable + dropped_partitioned;
+  }
+  /// Fraction of *recoverable* packets delivered (partitioned pairs excluded).
+  [[nodiscard]] double coverage() const noexcept {
+    const std::size_t recoverable = delivered + dropped_reachable;
+    return recoverable == 0 ? 1.0
+                            : static_cast<double>(delivered) /
+                                  static_cast<double>(recoverable);
+  }
+};
+
+struct CoverageResult {
+  std::vector<ProtocolCoverage> protocols;
+  std::size_t scenarios = 0;
+};
+
+/// Routes every affected ordered pair of every scenario under every protocol
+/// and classifies the outcomes.  Unlike the stretch experiment, scenarios may
+/// disconnect the graph.
+[[nodiscard]] CoverageResult run_coverage_experiment(
+    const graph::Graph& g, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols);
+
+}  // namespace pr::analysis

@@ -1,0 +1,68 @@
+#include "analysis/protocols.hpp"
+
+namespace pr::analysis {
+
+ProtocolSuite::ProtocolSuite(const graph::Graph& g, embed::EmbedOptions embed_opts,
+                             route::DiscriminatorKind dd_kind)
+    : graph_(&g),
+      embedding_(embed::embed(g, embed_opts)),
+      routes_(g, nullptr, dd_kind),
+      cycles_(embedding_.rotation) {}
+
+ProtocolSuite::ProtocolSuite(const graph::Graph& g, embed::Embedding embedding,
+                             route::DiscriminatorKind dd_kind)
+    : graph_(&g),
+      embedding_(std::move(embedding)),
+      routes_(g, nullptr, dd_kind),
+      cycles_(embedding_.rotation) {}
+
+NamedFactory ProtocolSuite::reconvergence() const {
+  return {"Re-convergence", [](const net::Network& net) {
+            return std::make_unique<route::ReconvergedRouting>(net);
+          }};
+}
+
+NamedFactory ProtocolSuite::fcp() const {
+  return {"Failure-Carrying Packets", [this](const net::Network&) {
+            return std::make_unique<route::FcpRouting>(*graph_);
+          }};
+}
+
+NamedFactory ProtocolSuite::pr() const {
+  return {"Packet Re-cycling", [this](const net::Network&) {
+            return std::make_unique<core::PacketRecycling>(
+                routes_, cycles_, core::PrVariant::kDistanceDiscriminator);
+          }};
+}
+
+NamedFactory ProtocolSuite::pr_single_bit() const {
+  return {"Packet Re-cycling (1-bit)", [this](const net::Network&) {
+            return std::make_unique<core::PacketRecycling>(routes_, cycles_,
+                                                           core::PrVariant::kSingleBit);
+          }};
+}
+
+NamedFactory ProtocolSuite::lfa() const {
+  return {"Loop-Free Alternates", [this](const net::Network&) {
+            return std::make_unique<route::LfaRouting>(routes_);
+          }};
+}
+
+NamedFactory ProtocolSuite::lfa_node_protecting() const {
+  return {"LFA (node-protecting)", [this](const net::Network&) {
+            return std::make_unique<route::LfaRouting>(routes_,
+                                                       route::LfaKind::kNodeProtecting);
+          }};
+}
+
+NamedFactory ProtocolSuite::spf() const {
+  return {"Plain SPF", [this](const net::Network&) {
+            return std::make_unique<route::StaticSpf>(routes_);
+          }};
+}
+
+std::vector<NamedFactory> ProtocolSuite::paper_trio() const {
+  return {reconvergence(), fcp(), pr()};
+}
+
+}  // namespace pr::analysis

@@ -1,0 +1,49 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace pr::analysis {
+
+Summary summarize(std::span<const double> samples) {
+  Summary out;
+  std::vector<double> finite;
+  finite.reserve(samples.size());
+  double sum = 0;
+  for (double s : samples) {
+    if (std::isfinite(s)) {
+      finite.push_back(s);
+      sum += s;
+    } else {
+      ++out.infinite;
+    }
+  }
+  out.count = finite.size();
+  if (finite.empty()) return out;
+  std::sort(finite.begin(), finite.end());
+  out.mean = sum / static_cast<double>(finite.size());
+  const auto rank = [&finite](double q) {
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(finite.size())));
+    return finite[std::min(finite.size() - 1, idx == 0 ? 0 : idx - 1)];
+  };
+  out.p50 = rank(0.50);
+  out.p90 = rank(0.90);
+  out.p99 = rank(0.99);
+  out.max = finite.back();
+  return out;
+}
+
+std::string to_string(const Summary& s) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(2);
+  out << "mean " << s.mean << " | p50 " << s.p50 << " | p90 " << s.p90 << " | p99 "
+      << s.p99 << " | max " << s.max;
+  if (s.infinite > 0) out << " (+" << s.infinite << " inf)";
+  return out.str();
+}
+
+}  // namespace pr::analysis

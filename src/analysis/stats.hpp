@@ -1,0 +1,28 @@
+// Small summary-statistics helper shared by benches and reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace pr::analysis {
+
+/// Five-number-style summary over the finite entries of a sample set.
+struct Summary {
+  std::size_t count = 0;     ///< finite samples
+  std::size_t infinite = 0;  ///< +inf entries (dropped packets)
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Computes the summary; infinite entries are counted separately and excluded
+/// from the moments.  Percentiles use the nearest-rank method.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// "mean 2.38 | p50 2.00 | p99 8.50 | max 12.00 (+3 inf)" style rendering.
+[[nodiscard]] std::string to_string(const Summary& s);
+
+}  // namespace pr::analysis

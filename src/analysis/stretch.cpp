@@ -1,0 +1,107 @@
+#include "analysis/stretch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pr::analysis {
+
+using graph::NodeId;
+
+std::vector<double> ccdf(std::span<const double> samples, std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  if (samples.empty()) {
+    out.assign(xs.size(), 0.0);
+    return out;
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (double x : xs) {
+    const auto first_greater = std::upper_bound(sorted.begin(), sorted.end(), x);
+    const auto count = static_cast<double>(sorted.end() - first_greater);
+    out.push_back(count / static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+bool path_affected(const route::RoutingDb& routes, NodeId s, NodeId t,
+                   const graph::EdgeSet& failures) {
+  if (s == t || !routes.reachable(s, t)) return false;
+  const auto& tree = routes.tree(t);
+  NodeId v = s;
+  while (v != t) {
+    const graph::DartId d = tree.next_dart[v];
+    if (failures.contains(graph::dart_edge(d))) return true;
+    v = routes.graph().dart_head(d);
+  }
+  return false;
+}
+
+double ProtocolStretch::max_finite_stretch() const {
+  double best = 0;
+  for (double s : stretches) {
+    if (std::isfinite(s)) best = std::max(best, s);
+  }
+  return best;
+}
+
+double ProtocolStretch::mean_finite_stretch() const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (double s : stretches) {
+    if (std::isfinite(s)) {
+      sum += s;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+StretchExperimentResult run_stretch_experiment(
+    const graph::Graph& g, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols) {
+  if (protocols.empty()) {
+    throw std::invalid_argument("run_stretch_experiment: no protocols given");
+  }
+  const route::RoutingDb pristine(g);
+
+  StretchExperimentResult result;
+  result.protocols.reserve(protocols.size());
+  for (const auto& p : protocols) result.protocols.push_back(ProtocolStretch{p.name, {}, 0, 0});
+  result.scenarios = scenarios.size();
+
+  for (const auto& failures : scenarios) {
+    net::Network network(g);
+    for (graph::EdgeId e : failures.elements()) network.fail_link(e);
+
+    // Fresh protocol instances see this scenario's link state at build time
+    // (ReconvergedRouting computes its post-convergence tables here).
+    std::vector<std::unique_ptr<net::ForwardingProtocol>> instances;
+    instances.reserve(protocols.size());
+    for (const auto& p : protocols) instances.push_back(p.make(network));
+
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      for (NodeId t = 0; t < g.node_count(); ++t) {
+        if (s == t || !path_affected(pristine, s, t, failures)) continue;
+        ++result.affected_pairs;
+        const double base_cost = pristine.cost(s, t);
+        for (std::size_t i = 0; i < instances.size(); ++i) {
+          const auto trace = net::route_packet(network, *instances[i], s, t);
+          auto& agg = result.protocols[i];
+          if (trace.delivered()) {
+            ++agg.delivered;
+            agg.stretches.push_back(trace.cost / base_cost);
+          } else {
+            ++agg.dropped;
+            agg.stretches.push_back(std::numeric_limits<double>::infinity());
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pr::analysis

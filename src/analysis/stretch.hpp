@@ -1,0 +1,68 @@
+// Path-length stretch analysis (the paper's Section 6 metric).
+//
+// "We define the stretch of a path as the ratio between the total path cost
+//  while cycle following and the path cost of the normal shortest path."
+// The Figure 2 curves plot the complementary CDF P(Stretch > x | path),
+// conditioned on paths affected by the failure scenario (unaffected pairs
+// have stretch 1 under every scheme and carry no information).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/forwarding.hpp"
+#include "route/routing_db.hpp"
+
+namespace pr::analysis {
+
+/// Empirical complementary CDF of `samples` evaluated at each x in `xs`:
+/// P(sample > x).  Infinite samples (dropped packets) inflate every point.
+[[nodiscard]] std::vector<double> ccdf(std::span<const double> samples,
+                                       std::span<const double> xs);
+
+/// True when the (pristine) shortest path from `s` to `t` recorded in
+/// `routes` traverses at least one edge of `failures`.
+[[nodiscard]] bool path_affected(const route::RoutingDb& routes, graph::NodeId s,
+                                 graph::NodeId t, const graph::EdgeSet& failures);
+
+/// Builds a fresh protocol instance for a scenario; the Network already has
+/// the scenario's failures installed when the factory runs.
+using ProtocolFactory =
+    std::function<std::unique_ptr<net::ForwardingProtocol>(const net::Network&)>;
+
+struct NamedFactory {
+  std::string name;
+  ProtocolFactory make;
+};
+
+/// Aggregate outcome of one protocol across all scenarios and affected pairs.
+struct ProtocolStretch {
+  std::string name;
+  /// One entry per (scenario, affected ordered pair): cost ratio, or +inf for
+  /// packets the protocol failed to deliver.
+  std::vector<double> stretches;
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;
+
+  [[nodiscard]] double max_finite_stretch() const;
+  [[nodiscard]] double mean_finite_stretch() const;
+};
+
+struct StretchExperimentResult {
+  std::vector<ProtocolStretch> protocols;
+  std::size_t scenarios = 0;
+  std::size_t affected_pairs = 0;  ///< summed over scenarios
+};
+
+/// Runs every protocol over every failure scenario and every affected ordered
+/// source/destination pair, measuring the cost of the route each packet
+/// actually travelled against the pristine shortest-path cost.
+[[nodiscard]] StretchExperimentResult run_stretch_experiment(
+    const graph::Graph& g, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols);
+
+}  // namespace pr::analysis

@@ -1,0 +1,53 @@
+#include "core/cycle_table.hpp"
+
+#include <sstream>
+
+namespace pr::core {
+
+CycleFollowingTable::CycleFollowingTable(const RotationSystem& rotation)
+    : graph_(&rotation.graph()), phi_(graph_->dart_count(), graph::kInvalidDart) {
+  for (DartId d = 0; d < graph_->dart_count(); ++d) {
+    phi_[d] = rotation.face_successor(d);
+  }
+}
+
+std::vector<CycleFollowingTable::Row> CycleFollowingTable::rows_for(NodeId v) const {
+  std::vector<Row> rows;
+  rows.reserve(graph_->degree(v));
+  for (DartId out : graph_->out_darts(v)) {
+    // The incoming interface paired with out-dart `out` is its reverse: the
+    // dart arriving at v from the same neighbour.
+    const DartId incoming = graph::reverse(out);
+    const DartId cf = cycle_following(incoming);
+    rows.push_back(Row{incoming, cf, complementary(cf)});
+  }
+  return rows;
+}
+
+std::string CycleFollowingTable::render_table(NodeId v,
+                                              const embed::FaceSet& faces) const {
+  const Graph& g = *graph_;
+  const auto iface = [&g](DartId d) {
+    // Paper notation I_YX: interface at X receiving packets from Y -- i.e.
+    // named after the dart Y->X for incoming, X->Z for outgoing.
+    return "I_" + g.display_name(g.dart_tail(d)) + g.display_name(g.dart_head(d));
+  };
+  std::ostringstream out;
+  out << "Cycle following table at node " << g.display_name(v) << "\n";
+  out << "Incoming      Cycle Following    Complementary\n";
+  for (const Row& row : rows_for(v)) {
+    out << iface(row.incoming) << "          " << iface(row.cycle_following) << " (c"
+        << faces.main_cycle_of(row.cycle_following) + 1 << ")          "
+        << iface(row.complementary) << " (c"
+        << faces.main_cycle_of(row.complementary) + 1 << ")\n";
+  }
+  return out.str();
+}
+
+std::size_t CycleFollowingTable::memory_bytes_per_router(NodeId v) const {
+  // Two stored columns (cycle-following + complementary interface ids) per
+  // incident interface; the incoming interface is the lookup key, not stored.
+  return graph_->degree(v) * 2 * sizeof(DartId);
+}
+
+}  // namespace pr::core

@@ -1,0 +1,76 @@
+// Cycle-following tables (paper Section 4.1, Table 1).
+//
+// Per router, a three-column table with one row per interface:
+//
+//   incoming interface | cycle-following out-interface | complementary out
+//
+// Both data columns are permutation lookups over the cellular embedding's
+// face-successor phi:
+//
+//   cycle_following(in)  = phi(in)            -- continue the face (cycle)
+//                                                the packet is following;
+//   complementary(out)   = phi(reverse(out))  -- hop onto the complementary
+//                                                cycle of a failed out-link.
+//
+// The whole-network object below stores phi once (two words per dart); a
+// router's table is the slice touching its interfaces, and
+// memory_bytes_per_router() prices exactly that slice for the E9 bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.hpp"
+
+namespace pr::core {
+
+using embed::RotationSystem;
+using graph::DartId;
+using graph::Graph;
+using graph::NodeId;
+
+class CycleFollowingTable {
+ public:
+  /// Builds the tables from a cellular embedding's rotation system.  The
+  /// rotation system (and its graph) must outlive the table.
+  explicit CycleFollowingTable(const RotationSystem& rotation);
+
+  /// Column 2: out-interface continuing the cycle of a packet that arrived
+  /// over `arrived_over`.
+  [[nodiscard]] DartId cycle_following(DartId arrived_over) const {
+    return phi_.at(arrived_over);
+  }
+
+  /// Column 3 (failure avoidance): out-interface on the complementary cycle
+  /// of the failed out-interface `failed_out`.  Equals sigma(failed_out): the
+  /// next interface in rotation order -- the right-hand rule.
+  [[nodiscard]] DartId complementary(DartId failed_out) const {
+    return phi_.at(graph::reverse(failed_out));
+  }
+
+  /// One rendered row of the router's table (paper Table 1 layout).
+  struct Row {
+    DartId incoming;         ///< interface the packet arrived over
+    DartId cycle_following;  ///< column 2
+    DartId complementary;    ///< column 3: complementary of column 2's link
+  };
+
+  /// The rows of router `v`'s table, one per interface, in rotation order.
+  [[nodiscard]] std::vector<Row> rows_for(NodeId v) const;
+
+  /// Renders router `v`'s table like the paper's Table 1 (interface names
+  /// I_XY, cycle ids from the face decomposition).
+  [[nodiscard]] std::string render_table(NodeId v, const embed::FaceSet& faces) const;
+
+  /// Bytes router `v` must store: two interface ids per incident interface.
+  [[nodiscard]] std::size_t memory_bytes_per_router(NodeId v) const;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  const Graph* graph_;
+  std::vector<DartId> phi_;
+};
+
+}  // namespace pr::core

@@ -1,0 +1,88 @@
+// Traffic-class-scoped Packet Re-cycling (paper Section 7).
+//
+// "Depending on the desired deployment strategy, ISPs can include extra rules
+//  and policies to limit PR to certain types of traffic (for example by
+//  limiting it to certain classes identifiable by the remaining DSCP bits)."
+//
+// PolicyGatedRecycling wraps the full PR protocol behind a per-class policy:
+// packets whose traffic class is protected get cycle-following repair, the
+// rest behave like plain shortest-path traffic (dropped at failures until the
+// IGP reconverges).  This is how an operator would sell PR as a premium
+// "loss-free" service tier without touching best-effort forwarding.
+#pragma once
+
+#include <bitset>
+#include <initializer_list>
+
+#include "core/pr_protocol.hpp"
+#include "route/static_spf.hpp"
+
+namespace pr::core {
+
+/// Traffic classes are the eight DSCP class-selector values (0 = best
+/// effort, 5 = expedited forwarding, ...).
+inline constexpr std::size_t kTrafficClasses = 8;
+
+class TrafficClassPolicy {
+ public:
+  TrafficClassPolicy() = default;
+  TrafficClassPolicy(std::initializer_list<std::uint8_t> protected_classes) {
+    for (auto c : protected_classes) protect(c);
+  }
+
+  void protect(std::uint8_t traffic_class) { classes_.set(index(traffic_class)); }
+  void unprotect(std::uint8_t traffic_class) { classes_.reset(index(traffic_class)); }
+  [[nodiscard]] bool protects(std::uint8_t traffic_class) const {
+    return classes_.test(index(traffic_class));
+  }
+  [[nodiscard]] std::size_t protected_count() const noexcept { return classes_.count(); }
+
+  /// Policy protecting every class (plain PR).
+  [[nodiscard]] static TrafficClassPolicy all() {
+    TrafficClassPolicy p;
+    p.classes_.set();
+    return p;
+  }
+
+ private:
+  static std::size_t index(std::uint8_t traffic_class) {
+    if (traffic_class >= kTrafficClasses) {
+      throw std::invalid_argument("TrafficClassPolicy: class out of range");
+    }
+    return traffic_class;
+  }
+
+  std::bitset<kTrafficClasses> classes_;
+};
+
+class PolicyGatedRecycling final : public net::ForwardingProtocol {
+ public:
+  /// `routes` and `cycles` as for PacketRecycling; both must outlive this.
+  PolicyGatedRecycling(const route::RoutingDb& routes, const CycleFollowingTable& cycles,
+                       TrafficClassPolicy policy,
+                       PrVariant variant = PrVariant::kDistanceDiscriminator)
+      : recycling_(routes, cycles, variant), spf_(routes), policy_(policy) {}
+
+  [[nodiscard]] net::ForwardingDecision forward(const net::Network& net,
+                                                graph::NodeId at,
+                                                graph::DartId arrived_over,
+                                                net::Packet& packet) override {
+    if (policy_.protects(packet.traffic_class)) {
+      return recycling_.forward(net, at, arrived_over, packet);
+    }
+    return spf_.forward(net, at, arrived_over, packet);
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "pr-policy-gated";
+  }
+
+  [[nodiscard]] const TrafficClassPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  PacketRecycling recycling_;
+  route::StaticSpf spf_;
+  TrafficClassPolicy policy_;
+};
+
+}  // namespace pr::core

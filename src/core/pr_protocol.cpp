@@ -1,0 +1,93 @@
+#include "core/pr_protocol.hpp"
+
+#include <stdexcept>
+
+namespace pr::core {
+
+using graph::DartId;
+using graph::NodeId;
+using net::DropReason;
+using net::ForwardingDecision;
+
+PacketRecycling::PacketRecycling(const route::RoutingDb& routes,
+                                 const CycleFollowingTable& cycles, PrVariant variant)
+    : routes_(&routes), cycles_(&cycles), variant_(variant) {
+  if (&routes.graph() != &cycles.graph()) {
+    throw std::invalid_argument(
+        "PacketRecycling: routing and cycle tables built for different graphs");
+  }
+}
+
+ForwardingDecision PacketRecycling::forward(const net::Network& net, NodeId at,
+                                            DartId arrived_over, net::Packet& packet) {
+  const graph::Graph& g = net.graph();
+  const NodeId dest = packet.destination;
+  if (at == dest) return ForwardingDecision::deliver();
+  const std::size_t deg = g.degree(at);
+  if (deg == 0) return ForwardingDecision::drop(DropReason::kNoRoute);
+
+  // The candidate out-interface currently under consideration, or
+  // kInvalidDart when the routing table should be consulted.
+  DartId candidate = graph::kInvalidDart;
+  if (packet.pr_bit) {
+    if (arrived_over == graph::kInvalidDart) {
+      // Defensive: a marked packet can only exist downstream of a detection,
+      // so it always has an arrival interface.  Fall back to normal routing.
+      packet.pr_bit = false;
+    } else {
+      candidate = cycles_->cycle_following(arrived_over);
+    }
+  }
+
+  // Whether shortest-path forwarding has already been attempted at this node
+  // during this decision (prevents livelock in the 1-bit variant, and caps
+  // the loop: sigma cycles through at most deg candidates).
+  bool tried_spf = false;
+  const std::size_t max_steps = 2 * deg + 4;
+
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    if (!packet.pr_bit) {
+      // -- normal shortest-path mode --
+      const DartId out = routes_->next_dart(at, dest);
+      if (out == graph::kInvalidDart) {
+        return ForwardingDecision::drop(DropReason::kNoRoute);
+      }
+      if (net.dart_usable(out)) return ForwardingDecision::forward(out);
+      // Failure detected while routing: mark, stamp, divert (Section 4.2/4.3).
+      tried_spf = true;
+      packet.pr_bit = true;
+      if (variant_ == PrVariant::kDistanceDiscriminator) {
+        packet.dd = routes_->discriminator(at, dest);
+      }
+      candidate = cycles_->complementary(out);
+      continue;
+    }
+
+    // -- cycle-following mode --
+    if (net.dart_usable(candidate)) return ForwardingDecision::forward(candidate);
+
+    // Failure encountered while cycle following: termination condition.
+    ++termination_checks_;
+    bool resume_spf = false;
+    if (variant_ == PrVariant::kSingleBit) {
+      // Section 4.2: meeting a failure again ends cycle following.
+      resume_spf = !tried_spf;
+    } else {
+      const std::uint32_t own = routes_->discriminator(at, dest);
+      resume_spf = own < packet.dd && !tried_spf;
+    }
+    if (resume_spf) {
+      packet.pr_bit = false;  // next iteration consults the routing table
+      continue;
+    }
+    // Continue along the complementary cycle of the failed interface
+    // (equivalently: the next interface in rotation order -- right-hand rule).
+    candidate = cycles_->complementary(candidate);
+  }
+
+  // Every incident link is down (possible mid-flight in the event simulator,
+  // or at a fully disconnected source).
+  return ForwardingDecision::drop(DropReason::kNoRoute);
+}
+
+}  // namespace pr::core

@@ -1,0 +1,54 @@
+#include "embed/embedder.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pr::embed {
+
+namespace {
+
+Embedding finish(RotationSystem rot, EmbedStrategy used) {
+  FaceSet faces = trace_faces(rot);
+  check_face_set(rot, faces);
+  const int genus = euler_genus(rot.graph(), faces);
+  return Embedding{std::move(rot), std::move(faces), genus, used};
+}
+
+}  // namespace
+
+Embedding embed(const Graph& g, const EmbedOptions& opts) {
+  switch (opts.strategy) {
+    case EmbedStrategy::kIdentity:
+      return finish(RotationSystem::identity(g), EmbedStrategy::kIdentity);
+
+    case EmbedStrategy::kRandom: {
+      graph::Rng rng(opts.random_seed);
+      return finish(RotationSystem::random(g, rng), EmbedStrategy::kRandom);
+    }
+
+    case EmbedStrategy::kLocalSearch: {
+      auto result = minimize_genus(g, opts.search);
+      return finish(std::move(result.rotation), EmbedStrategy::kLocalSearch);
+    }
+
+    case EmbedStrategy::kPlanar: {
+      auto result = planar_embedding(g);
+      if (!result.planar) {
+        throw std::invalid_argument("embed: graph is not planar (strategy kPlanar)");
+      }
+      return finish(std::move(*result.rotation), EmbedStrategy::kPlanar);
+    }
+
+    case EmbedStrategy::kAuto: {
+      auto result = planar_embedding(g);
+      if (result.planar) {
+        return finish(std::move(*result.rotation), EmbedStrategy::kPlanar);
+      }
+      auto searched = minimize_genus(g, opts.search);
+      return finish(std::move(searched.rotation), EmbedStrategy::kLocalSearch);
+    }
+  }
+  throw std::logic_error("embed: unknown strategy");
+}
+
+}  // namespace pr::embed

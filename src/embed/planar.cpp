@@ -1,0 +1,362 @@
+#include "embed/planar.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+
+namespace pr::embed {
+
+namespace {
+
+using graph::dart_edge;
+using graph::kInvalidDart;
+using graph::reverse;
+
+// Plane embedding of one biconnected block, maintained as the set of face
+// boundary walks.  All faces of a biconnected plane graph are simple cycles,
+// which the splitting step relies on (each node appears at most once as a
+// dart tail per face).
+class BlockEmbedder {
+ public:
+  BlockEmbedder(const Graph& g, const std::vector<EdgeId>& block_edges)
+      : g_(g), block_edges_(block_edges) {}
+
+  /// Runs DMP; returns the face walks on success, nullopt when non-planar.
+  std::optional<std::vector<std::vector<DartId>>> run() {
+    if (block_edges_.size() == 1) {
+      // A bridge block: one face walking the edge back and forth.
+      const DartId d = graph::make_dart(block_edges_[0], 0);
+      return std::vector<std::vector<DartId>>{{d, reverse(d)}};
+    }
+    init_membership();
+    embed_initial_cycle();
+    while (embedded_count_ < block_edges_.size()) {
+      if (!embed_one_fragment_path()) return std::nullopt;  // non-planar
+    }
+    std::vector<std::vector<DartId>> result;
+    for (std::size_t f = 0; f < faces_.size(); ++f) {
+      if (alive_[f]) result.push_back(faces_[f]);
+    }
+    return result;
+  }
+
+ private:
+  void init_membership() {
+    in_block_edge_.assign(g_.edge_count(), 0);
+    for (EdgeId e : block_edges_) in_block_edge_[e] = 1;
+    embedded_edge_.assign(g_.edge_count(), 0);
+    in_h_.assign(g_.node_count(), 0);
+  }
+
+  // DFS from a block node until a back edge closes a cycle.
+  void embed_initial_cycle() {
+    const NodeId root = g_.edge_u(block_edges_[0]);
+    std::vector<DartId> entered_by(g_.node_count(), kInvalidDart);
+    std::vector<std::uint8_t> visited(g_.node_count(), 0);
+    std::vector<NodeId> order;
+
+    struct Frame {
+      NodeId v;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> stack{{root}};
+    visited[root] = 1;
+    std::vector<DartId> cycle;
+
+    while (!stack.empty() && cycle.empty()) {
+      Frame& fr = stack.back();
+      const auto outs = g_.out_darts(fr.v);
+      if (fr.next >= outs.size()) {
+        stack.pop_back();
+        continue;
+      }
+      const DartId d = outs[fr.next++];
+      if (in_block_edge_[dart_edge(d)] == 0) continue;
+      if (entered_by[fr.v] != kInvalidDart && d == reverse(entered_by[fr.v])) continue;
+      const NodeId u = g_.dart_head(d);
+      if (!visited[u]) {
+        visited[u] = 1;
+        entered_by[u] = d;
+        stack.push_back(Frame{u});
+        continue;
+      }
+      // Back edge to some visited node u: walk entered_by from fr.v to u.
+      std::vector<DartId> up_path;  // darts u -> ... -> fr.v along the tree
+      NodeId w = fr.v;
+      while (w != u) {
+        const DartId tree_dart = entered_by[w];
+        if (tree_dart == kInvalidDart) {
+          // u is not an ancestor of fr.v (cross edge cannot happen in
+          // undirected DFS); defensive.
+          throw std::logic_error("BlockEmbedder: broken DFS tree");
+        }
+        up_path.push_back(tree_dart);
+        w = g_.dart_tail(tree_dart);
+      }
+      std::reverse(up_path.begin(), up_path.end());  // now u -> ... -> fr.v
+      up_path.push_back(d);                          // close with fr.v -> u?
+      // d goes fr.v -> u, so appending it after the tree path u->..->fr.v
+      // yields the closed walk u -> ... -> fr.v -> u.
+      cycle = std::move(up_path);
+    }
+    if (cycle.empty()) {
+      throw std::logic_error("BlockEmbedder: block with >1 edge contains no cycle");
+    }
+
+    for (DartId d : cycle) {
+      embedded_edge_[dart_edge(d)] = 1;
+      in_h_[g_.dart_tail(d)] = 1;
+      ++embedded_count_;
+    }
+    std::vector<DartId> mirrored(cycle.size());
+    std::transform(cycle.rbegin(), cycle.rend(), mirrored.begin(),
+                   [](DartId d) { return reverse(d); });
+    add_face(std::move(cycle));
+    add_face(std::move(mirrored));
+  }
+
+  struct Fragment {
+    std::vector<EdgeId> edges;
+    std::vector<NodeId> attachments;  // unique, sorted
+  };
+
+  std::vector<Fragment> compute_fragments() const {
+    // Union-find over the non-embedded block edges; every non-embedded node
+    // merges all its incident pending edges into one fragment.
+    std::unordered_map<EdgeId, EdgeId> parent;
+    std::vector<EdgeId> pending;
+    for (EdgeId e : block_edges_) {
+      if (!embedded_edge_[e]) {
+        parent[e] = e;
+        pending.push_back(e);
+      }
+    }
+    std::function<EdgeId(EdgeId)> find = [&](EdgeId x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    const auto unite = [&](EdgeId a, EdgeId b) { parent[find(a)] = find(b); };
+
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      if (in_h_[v]) continue;
+      EdgeId first = graph::kInvalidEdge;
+      for (DartId d : g_.out_darts(v)) {
+        const EdgeId e = dart_edge(d);
+        if (in_block_edge_[e] == 0 || embedded_edge_[e]) continue;
+        if (first == graph::kInvalidEdge) {
+          first = e;
+        } else {
+          unite(first, e);
+        }
+      }
+    }
+
+    std::unordered_map<EdgeId, std::size_t> root_to_idx;
+    std::vector<Fragment> fragments;
+    for (EdgeId e : pending) {
+      const EdgeId r = find(e);
+      auto [it, inserted] = root_to_idx.try_emplace(r, fragments.size());
+      if (inserted) fragments.emplace_back();
+      fragments[it->second].edges.push_back(e);
+    }
+    for (auto& frag : fragments) {
+      for (EdgeId e : frag.edges) {
+        for (NodeId endpoint : {g_.edge_u(e), g_.edge_v(e)}) {
+          if (in_h_[endpoint]) frag.attachments.push_back(endpoint);
+        }
+      }
+      std::sort(frag.attachments.begin(), frag.attachments.end());
+      frag.attachments.erase(
+          std::unique(frag.attachments.begin(), frag.attachments.end()),
+          frag.attachments.end());
+      if (frag.attachments.size() < 2) {
+        throw std::logic_error("BlockEmbedder: fragment with <2 attachments in a block");
+      }
+    }
+    return fragments;
+  }
+
+  [[nodiscard]] bool face_admits(std::size_t f, const Fragment& frag) const {
+    return std::all_of(frag.attachments.begin(), frag.attachments.end(),
+                       [&](NodeId a) { return face_has_node_[f][a] != 0; });
+  }
+
+  // Chooses fragment + face per DMP, finds a path, splits the face.
+  // Returns false when some fragment has no admissible face (non-planar).
+  bool embed_one_fragment_path() {
+    const auto fragments = compute_fragments();
+    std::optional<std::size_t> chosen_frag;
+    std::optional<std::size_t> chosen_face;
+    for (std::size_t i = 0; i < fragments.size(); ++i) {
+      std::vector<std::size_t> admissible;
+      for (std::size_t f = 0; f < faces_.size(); ++f) {
+        if (alive_[f] && face_admits(f, fragments[i])) admissible.push_back(f);
+      }
+      if (admissible.empty()) return false;  // non-planar certificate
+      if (admissible.size() == 1 || !chosen_frag.has_value()) {
+        chosen_frag = i;
+        chosen_face = admissible.front();
+        if (admissible.size() == 1) break;  // forced placement: do it now
+      }
+    }
+    if (!chosen_frag.has_value()) {
+      throw std::logic_error("BlockEmbedder: no fragments while edges pending");
+    }
+    const Fragment& frag = fragments[*chosen_frag];
+    const auto path = fragment_path(frag);
+    split_face(*chosen_face, path);
+    for (DartId d : path) {
+      embedded_edge_[dart_edge(d)] = 1;
+      in_h_[g_.dart_tail(d)] = 1;
+      in_h_[g_.dart_head(d)] = 1;
+      ++embedded_count_;
+    }
+    return true;
+  }
+
+  // BFS inside the fragment from one attachment to any other; interior nodes
+  // must lie outside H.  Returns the dart path attachment -> attachment.
+  std::vector<DartId> fragment_path(const Fragment& frag) const {
+    std::vector<std::uint8_t> in_frag(g_.edge_count(), 0);
+    for (EdgeId e : frag.edges) in_frag[e] = 1;
+    const NodeId start = frag.attachments.front();
+
+    std::vector<DartId> parent(g_.node_count(), kInvalidDart);
+    std::vector<std::uint8_t> visited(g_.node_count(), 0);
+    std::vector<NodeId> fifo{start};
+    visited[start] = 1;
+    for (std::size_t head = 0; head < fifo.size(); ++head) {
+      const NodeId v = fifo[head];
+      for (DartId d : g_.out_darts(v)) {
+        if (in_frag[dart_edge(d)] == 0) continue;
+        const NodeId u = g_.dart_head(d);
+        if (visited[u]) continue;
+        visited[u] = 1;
+        parent[u] = d;
+        if (in_h_[u]) {
+          // Reached another attachment: reconstruct.
+          std::vector<DartId> path;
+          NodeId w = u;
+          while (w != start) {
+            path.push_back(parent[w]);
+            w = g_.dart_tail(parent[w]);
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        fifo.push_back(u);
+      }
+    }
+    throw std::logic_error("BlockEmbedder: fragment path not found");
+  }
+
+  void add_face(std::vector<DartId> walk) {
+    std::vector<std::uint8_t> has(g_.node_count(), 0);
+    for (DartId d : walk) has[g_.dart_tail(d)] = 1;
+    faces_.push_back(std::move(walk));
+    face_has_node_.push_back(std::move(has));
+    alive_.push_back(1);
+  }
+
+  // Splits face `f` along `path` (a -> ... -> b with a,b on the boundary).
+  void split_face(std::size_t f, const std::vector<DartId>& path) {
+    const NodeId a = g_.dart_tail(path.front());
+    const NodeId b = g_.dart_head(path.back());
+    if (a == b) throw std::logic_error("BlockEmbedder: degenerate path");
+    const auto& walk = faces_[f];
+    std::optional<std::size_t> ia;
+    std::optional<std::size_t> ib;
+    for (std::size_t i = 0; i < walk.size(); ++i) {
+      const NodeId tail = g_.dart_tail(walk[i]);
+      if (tail == a) ia = i;
+      if (tail == b) ib = i;
+    }
+    if (!ia || !ib) throw std::logic_error("BlockEmbedder: path endpoints off face");
+
+    const auto segment = [&](std::size_t from, std::size_t to) {
+      std::vector<DartId> out;
+      for (std::size_t i = from; i != to; i = (i + 1) % walk.size()) {
+        out.push_back(walk[i]);
+      }
+      return out;
+    };
+    std::vector<DartId> w1 = segment(*ia, *ib);  // a -> ... -> b
+    std::vector<DartId> w2 = segment(*ib, *ia);  // b -> ... -> a
+
+    // Face 1: boundary a->..->b (old walk) then b->..->a (path reversed).
+    std::vector<DartId> f1 = std::move(w1);
+    for (auto it = path.rbegin(); it != path.rend(); ++it) f1.push_back(reverse(*it));
+    // Face 2: path a->..->b then old walk b->..->a.
+    std::vector<DartId> f2(path.begin(), path.end());
+    f2.insert(f2.end(), w2.begin(), w2.end());
+
+    alive_[f] = 0;
+    add_face(std::move(f1));
+    add_face(std::move(f2));
+  }
+
+  const Graph& g_;
+  const std::vector<EdgeId>& block_edges_;
+  std::vector<std::uint8_t> in_block_edge_;
+  std::vector<std::uint8_t> embedded_edge_;
+  std::vector<std::uint8_t> in_h_;
+  std::size_t embedded_count_ = 0;
+
+  std::vector<std::vector<DartId>> faces_;
+  std::vector<std::vector<std::uint8_t>> face_has_node_;
+  std::vector<std::uint8_t> alive_;
+};
+
+}  // namespace
+
+PlanarResult planar_embedding(const Graph& g) {
+  // phi over the whole graph: face successor within each block's face set.
+  std::vector<DartId> phi(g.dart_count(), kInvalidDart);
+
+  for (const auto& block : graph::biconnected_components(g)) {
+    BlockEmbedder embedder(g, block);
+    auto faces = embedder.run();
+    if (!faces.has_value()) return PlanarResult{false, std::nullopt};
+    for (const auto& walk : *faces) {
+      for (std::size_t i = 0; i < walk.size(); ++i) {
+        phi[walk[i]] = walk[(i + 1) % walk.size()];
+      }
+    }
+  }
+
+  // sigma(y) = phi(reverse(y)); per node, chase sigma to linearise the cyclic
+  // order.  Cut vertices carry darts of several blocks: each block contributes
+  // one sigma-cycle, and concatenating the cycles keeps every block planar
+  // while merging the embeddings at the shared vertex (genus stays 0).
+  std::vector<std::vector<DartId>> orders(g.node_count());
+  std::vector<std::uint8_t> placed(g.dart_count(), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    orders[v].reserve(g.degree(v));
+    for (DartId seed : g.out_darts(v)) {
+      if (placed[seed]) continue;
+      DartId d = seed;
+      do {
+        placed[d] = 1;
+        orders[v].push_back(d);
+        d = phi[reverse(d)];
+        if (d == kInvalidDart || g.dart_tail(d) != v) {
+          throw std::logic_error("planar_embedding: sigma derivation escaped the node");
+        }
+      } while (d != seed);
+    }
+  }
+
+  return PlanarResult{true, RotationSystem::from_orders(g, std::move(orders))};
+}
+
+bool is_planar(const Graph& g) { return planar_embedding(g).planar; }
+
+}  // namespace pr::embed

@@ -1,0 +1,33 @@
+// Planarity testing and planar (genus-0) embedding.
+//
+// Implements the Demoucron-Malgrange-Pertuiset (DMP) incremental algorithm:
+// embed an initial cycle, then repeatedly choose a fragment ("bridge") of the
+// remaining graph, a face whose boundary contains all of the fragment's
+// attachment vertices, and a path through the fragment, splitting that face in
+// two.  If some fragment has no admissible face the graph is non-planar.
+// Blocks (biconnected components) are embedded independently and merged at cut
+// vertices, which preserves genus 0.  O(V * E) overall -- ample for the
+// ISP-scale topologies this library targets; the paper's reference [3]
+// (Boyer-Myrvold) achieves O(n) but its complexity is not needed here.
+#pragma once
+
+#include <optional>
+
+#include "embed/rotation_system.hpp"
+
+namespace pr::embed {
+
+/// Outcome of the planarity test.  `rotation` is set iff `planar`, and then
+/// describes a genus-0 (sphere) cellular embedding of the whole graph.
+struct PlanarResult {
+  bool planar = false;
+  std::optional<RotationSystem> rotation;
+};
+
+/// Tests planarity and, on success, returns a spherical rotation system.
+[[nodiscard]] PlanarResult planar_embedding(const Graph& g);
+
+/// Convenience wrapper.
+[[nodiscard]] bool is_planar(const Graph& g);
+
+}  // namespace pr::embed

@@ -1,0 +1,173 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stack>
+
+namespace pr::graph {
+
+namespace {
+
+constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+
+// Iterative DFS shared by bridges / articulation points / blocks.  Tarjan
+// low-link over the dart structure; the dart we arrived through is skipped by
+// id, so parallel edges correctly act as back edges.
+struct LowLink {
+  std::vector<std::uint32_t> disc;
+  std::vector<std::uint32_t> low;
+  std::vector<EdgeId> bridge_list;
+  std::vector<NodeId> cut_list;
+  std::vector<std::vector<EdgeId>> blocks;
+
+  explicit LowLink(const Graph& g) { run(g); }
+
+ private:
+  void run(const Graph& g) {
+    const std::size_t n = g.node_count();
+    disc.assign(n, kUnvisited);
+    low.assign(n, kUnvisited);
+    std::vector<std::uint8_t> is_cut(n, 0);
+    std::uint32_t timer = 0;
+
+    struct Frame {
+      NodeId v;
+      DartId entered_by;     // dart used to reach v (kInvalidDart at roots)
+      std::size_t next_out;  // index into out_darts(v)
+      std::uint32_t tree_children = 0;
+    };
+
+    std::vector<Frame> stack;
+    std::vector<EdgeId> edge_stack;  // for biconnected components
+
+    for (NodeId root = 0; root < n; ++root) {
+      if (disc[root] != kUnvisited) continue;
+      stack.push_back(Frame{root, kInvalidDart, 0});
+      disc[root] = low[root] = timer++;
+
+      while (!stack.empty()) {
+        Frame& fr = stack.back();
+        const NodeId v = fr.v;
+        const auto outs = g.out_darts(v);
+        if (fr.next_out < outs.size()) {
+          const DartId d = outs[fr.next_out++];
+          if (fr.entered_by != kInvalidDart && d == reverse(fr.entered_by)) {
+            continue;  // don't ride the entering dart back up
+          }
+          const NodeId u = g.dart_head(d);
+          const EdgeId e = dart_edge(d);
+          if (disc[u] == kUnvisited) {
+            edge_stack.push_back(e);
+            ++fr.tree_children;
+            disc[u] = low[u] = timer++;
+            stack.push_back(Frame{u, d, 0});
+          } else if (disc[u] < disc[v]) {
+            edge_stack.push_back(e);  // genuine back edge (also parallel edges)
+            low[v] = std::min(low[v], disc[u]);
+          }
+          continue;
+        }
+
+        // v fully explored: propagate low to the parent and classify.
+        stack.pop_back();
+        if (fr.entered_by == kInvalidDart) {
+          if (fr.tree_children >= 2) is_cut[v] = 1;  // root rule
+          continue;
+        }
+        const NodeId parent = g.dart_tail(fr.entered_by);
+        const EdgeId tree_edge = dart_edge(fr.entered_by);
+        low[parent] = std::min(low[parent], low[v]);
+        if (low[v] > disc[parent]) bridge_list.push_back(tree_edge);
+        if (low[v] >= disc[parent]) {
+          // The edges accumulated above tree_edge form one block, and parent
+          // is a cut vertex unless it is the root (roots use the >=2-children
+          // rule at their own pop).
+          const bool parent_is_root = stack.back().entered_by == kInvalidDart;
+          if (!parent_is_root) is_cut[parent] = 1;
+          std::vector<EdgeId> block;
+          while (!edge_stack.empty()) {
+            const EdgeId e = edge_stack.back();
+            edge_stack.pop_back();
+            block.push_back(e);
+            if (e == tree_edge) break;
+          }
+          blocks.push_back(std::move(block));
+        }
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (is_cut[v] != 0) cut_list.push_back(v);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> connected_components(const Graph& g, const EdgeSet* excluded) {
+  const std::size_t n = g.node_count();
+  std::vector<std::uint32_t> comp(n, kUnvisited);
+  std::vector<NodeId> fifo;
+  fifo.reserve(n);
+  std::uint32_t next_comp = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[s] != kUnvisited) continue;
+    comp[s] = next_comp;
+    fifo.clear();
+    fifo.push_back(s);
+    for (std::size_t head = 0; head < fifo.size(); ++head) {
+      const NodeId v = fifo[head];
+      for (DartId d : g.out_darts(v)) {
+        if (excluded != nullptr && excluded->contains(dart_edge(d))) continue;
+        const NodeId u = g.dart_head(d);
+        if (comp[u] == kUnvisited) {
+          comp[u] = next_comp;
+          fifo.push_back(u);
+        }
+      }
+    }
+    ++next_comp;
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g, const EdgeSet* excluded) {
+  if (g.node_count() == 0) return true;
+  const auto comp = connected_components(g, excluded);
+  return std::all_of(comp.begin(), comp.end(),
+                     [](std::uint32_t c) { return c == 0; });
+}
+
+bool same_component(const Graph& g, NodeId a, NodeId b, const EdgeSet* excluded) {
+  const auto comp = connected_components(g, excluded);
+  return comp.at(a) == comp.at(b);
+}
+
+std::vector<EdgeId> bridges(const Graph& g) {
+  LowLink ll(g);
+  auto result = ll.bridge_list;
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<NodeId> articulation_points(const Graph& g) {
+  LowLink ll(g);
+  return ll.cut_list;  // already in node order
+}
+
+bool is_two_edge_connected(const Graph& g) {
+  return g.node_count() >= 2 && is_connected(g) && bridges(g).empty();
+}
+
+bool is_biconnected(const Graph& g) {
+  return g.node_count() >= 3 && is_connected(g) && articulation_points(g).empty();
+}
+
+std::vector<std::vector<EdgeId>> biconnected_components(const Graph& g) {
+  LowLink ll(g);
+  auto blocks = ll.blocks;
+  for (auto& b : blocks) std::sort(b.begin(), b.end());
+  std::sort(blocks.begin(), blocks.end());
+  return blocks;
+}
+
+}  // namespace pr::graph

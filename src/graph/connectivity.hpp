@@ -1,0 +1,50 @@
+// Connectivity analysis: components, bridges, articulation points,
+// 2-edge-connectivity.
+//
+// Packet Re-cycling's single-failure guarantee (Section 4.2 of the paper)
+// requires a 2-edge-connected network; its multi-failure guarantee holds for
+// failure combinations that keep source and destination connected.  The
+// experiment harness therefore needs fast residual-connectivity checks to
+// filter sampled failure scenarios, and topology constructors assert
+// 2-edge-connectivity up front.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pr::graph {
+
+/// Component id per node (ids are dense, 0-based, assigned in node order).
+/// Edges in `excluded` are treated as absent.
+[[nodiscard]] std::vector<std::uint32_t> connected_components(
+    const Graph& g, const EdgeSet* excluded = nullptr);
+
+/// True when every node is reachable from every other (vacuously true for the
+/// empty graph).  Edges in `excluded` are treated as absent.
+[[nodiscard]] bool is_connected(const Graph& g, const EdgeSet* excluded = nullptr);
+
+/// True when `a` and `b` are in the same component of G minus `excluded`.
+[[nodiscard]] bool same_component(const Graph& g, NodeId a, NodeId b,
+                                  const EdgeSet* excluded = nullptr);
+
+/// All bridges (cut edges).  Multigraph-aware: a parallel pair is never a bridge.
+[[nodiscard]] std::vector<EdgeId> bridges(const Graph& g);
+
+/// All articulation points (cut vertices).
+[[nodiscard]] std::vector<NodeId> articulation_points(const Graph& g);
+
+/// Connected and bridge-free: the precondition for single-failure coverage.
+[[nodiscard]] bool is_two_edge_connected(const Graph& g);
+
+/// Connected and articulation-free (and at least 3 nodes): "2-connected" in
+/// the paper's terminology.
+[[nodiscard]] bool is_biconnected(const Graph& g);
+
+/// Partition of the edges into biconnected components (blocks).  Used by the
+/// planar embedder, which embeds blocks independently and merges them at cut
+/// vertices.
+[[nodiscard]] std::vector<std::vector<EdgeId>> biconnected_components(const Graph& g);
+
+}  // namespace pr::graph

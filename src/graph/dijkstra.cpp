@@ -1,0 +1,141 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+
+namespace pr::graph {
+
+bool ShortestPathTree::reachable(NodeId v) const {
+  return v < dist.size() && dist[v] < kUnreachable;
+}
+
+ShortestPathTree shortest_paths_to(const Graph& g, NodeId destination,
+                                   const EdgeSet* excluded) {
+  if (destination >= g.node_count()) {
+    throw std::out_of_range("shortest_paths_to: destination out of range");
+  }
+  const std::size_t n = g.node_count();
+  ShortestPathTree spt;
+  spt.destination = destination;
+  spt.dist.assign(n, kUnreachable);
+  spt.hops.assign(n, std::numeric_limits<std::uint32_t>::max());
+  spt.next_dart.assign(n, kInvalidDart);
+
+  // Priority ordered by (cost, hops, node id) for full determinism.
+  using Entry = std::tuple<Weight, std::uint32_t, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+
+  spt.dist[destination] = 0;
+  spt.hops[destination] = 0;
+  queue.emplace(0.0, 0U, destination);
+
+  while (!queue.empty()) {
+    const auto [cost, hop, v] = queue.top();
+    queue.pop();
+    if (cost > spt.dist[v] || (cost == spt.dist[v] && hop > spt.hops[v])) {
+      continue;  // stale entry
+    }
+    // Relax v's neighbours: the tree grows from the destination outward, so a
+    // neighbour u reaches the destination via the dart u->v.
+    for (DartId d_vu : g.out_darts(v)) {
+      const EdgeId e = dart_edge(d_vu);
+      if (excluded != nullptr && excluded->contains(e)) continue;
+      const NodeId u = g.dart_head(d_vu);
+      const Weight cand = cost + g.edge_weight(e);
+      const std::uint32_t cand_hops = hop + 1;
+      const bool better = cand < spt.dist[u] ||
+                          (cand == spt.dist[u] && cand_hops < spt.hops[u]);
+      if (better) {
+        spt.dist[u] = cand;
+        spt.hops[u] = cand_hops;
+        spt.next_dart[u] = reverse(d_vu);  // dart u->v
+        queue.emplace(cand, cand_hops, u);
+      }
+    }
+  }
+  return spt;
+}
+
+std::vector<ShortestPathTree> all_shortest_path_trees(const Graph& g,
+                                                      const EdgeSet* excluded) {
+  std::vector<ShortestPathTree> trees;
+  trees.reserve(g.node_count());
+  for (NodeId t = 0; t < g.node_count(); ++t) {
+    trees.push_back(shortest_paths_to(g, t, excluded));
+  }
+  return trees;
+}
+
+std::vector<NodeId> extract_path(const Graph& g, const ShortestPathTree& spt,
+                                 NodeId source) {
+  std::vector<NodeId> nodes;
+  if (!spt.reachable(source)) return nodes;
+  NodeId v = source;
+  nodes.push_back(v);
+  while (v != spt.destination) {
+    const DartId d = spt.next_dart[v];
+    if (d == kInvalidDart) {
+      throw std::logic_error("extract_path: broken shortest-path tree");
+    }
+    v = g.dart_head(d);
+    nodes.push_back(v);
+    if (nodes.size() > g.node_count()) {
+      throw std::logic_error("extract_path: cycle in shortest-path tree");
+    }
+  }
+  return nodes;
+}
+
+Weight path_cost(const Graph& g, const std::vector<NodeId>& nodes) {
+  Weight sum = 0;
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const auto e = g.find_edge(nodes[i], nodes[i + 1]);
+    if (!e.has_value()) {
+      throw std::invalid_argument("path_cost: consecutive nodes not adjacent");
+    }
+    sum += g.edge_weight(*e);
+  }
+  return sum;
+}
+
+Weight weighted_diameter(const Graph& g) {
+  Weight best = 0;
+  for (NodeId t = 0; t < g.node_count(); ++t) {
+    const auto spt = shortest_paths_to(g, t);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (spt.reachable(v)) best = std::max(best, spt.dist[v]);
+    }
+  }
+  return best;
+}
+
+std::uint32_t hop_diameter(const Graph& g) {
+  // Unit-cost search independent of configured weights.
+  std::uint32_t best = 0;
+  const std::size_t n = g.node_count();
+  std::vector<std::uint32_t> depth(n);
+  std::vector<NodeId> fifo(n);
+  for (NodeId s = 0; s < n; ++s) {
+    std::fill(depth.begin(), depth.end(), std::numeric_limits<std::uint32_t>::max());
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    depth[s] = 0;
+    fifo[tail++] = s;
+    while (head < tail) {
+      const NodeId v = fifo[head++];
+      for (DartId d : g.out_darts(v)) {
+        const NodeId u = g.dart_head(d);
+        if (depth[u] == std::numeric_limits<std::uint32_t>::max()) {
+          depth[u] = depth[v] + 1;
+          best = std::max(best, depth[u]);
+          fifo[tail++] = u;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pr::graph

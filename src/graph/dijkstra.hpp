@@ -1,0 +1,61 @@
+// Shortest-path trees toward a destination.
+//
+// Packet Re-cycling routes packets *to* destinations, so the natural object is
+// the reverse shortest-path tree rooted at the destination: for every node v
+// it stores the first dart of v's shortest path toward the destination, the
+// total cost, and the hop count.  The hop count doubles as the paper's default
+// "distance discriminator" (Section 4.3); the weighted cost is the alternative
+// discriminator evaluated in ablation A4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pr::graph {
+
+/// Reverse shortest-path tree: per-node next dart / cost / hops toward `destination`.
+struct ShortestPathTree {
+  NodeId destination = kInvalidNode;
+  /// dist[v] = weighted cost of the shortest v -> destination path
+  /// (infinity when unreachable).
+  std::vector<Weight> dist;
+  /// hops[v] = number of links on that same path (ties broken toward fewer hops).
+  std::vector<std::uint32_t> hops;
+  /// next_dart[v] = first dart on the path (kInvalidDart at the destination and
+  /// at unreachable nodes).
+  std::vector<DartId> next_dart;
+
+  [[nodiscard]] bool reachable(NodeId v) const;
+};
+
+inline constexpr Weight kUnreachable = std::numeric_limits<Weight>::infinity();
+
+/// Dijkstra from `destination` over the undirected graph, optionally ignoring
+/// the edges in `excluded` (the failure set).  Deterministic: ties are broken
+/// first by hop count, then by smaller neighbour id.
+[[nodiscard]] ShortestPathTree shortest_paths_to(const Graph& g, NodeId destination,
+                                                 const EdgeSet* excluded = nullptr);
+
+/// All-destinations convenience: one tree per node (index = destination id).
+[[nodiscard]] std::vector<ShortestPathTree> all_shortest_path_trees(
+    const Graph& g, const EdgeSet* excluded = nullptr);
+
+/// Follows `next_dart` from `source`; returns the node sequence
+/// source, ..., destination (empty if unreachable; single element if source ==
+/// destination).
+[[nodiscard]] std::vector<NodeId> extract_path(const Graph& g, const ShortestPathTree& spt,
+                                               NodeId source);
+
+/// Weighted cost of the path `nodes` (consecutive nodes must be adjacent;
+/// throws otherwise).  Used to price the routes packets actually travelled.
+[[nodiscard]] Weight path_cost(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Weighted graph diameter (max finite shortest-path cost over all pairs).
+[[nodiscard]] Weight weighted_diameter(const Graph& g);
+
+/// Hop-count diameter: max hops of any shortest path, with unit-cost search.
+[[nodiscard]] std::uint32_t hop_diameter(const Graph& g);
+
+}  // namespace pr::graph

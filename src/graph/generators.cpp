@@ -1,0 +1,166 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace pr::graph {
+
+Graph ring(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("ring: need n >= 3");
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  }
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("complete: need n >= 2");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols, bool wrap) {
+  if (rows < 2 || cols < 2) throw std::invalid_argument("grid: need rows, cols >= 2");
+  if (wrap && (rows < 3 || cols < 3)) {
+    throw std::invalid_argument("grid: wrap requires rows, cols >= 3");
+  }
+  Graph g(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  if (wrap) {
+    for (std::size_t r = 0; r < rows; ++r) g.add_edge(id(r, cols - 1), id(r, 0));
+    for (std::size_t c = 0; c < cols; ++c) g.add_edge(id(rows - 1, c), id(0, c));
+  }
+  return g;
+}
+
+Graph torus(std::size_t rows, std::size_t cols) { return grid(rows, cols, true); }
+
+Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: need n >= 2");
+  if (p < 0 || p > 1) throw std::invalid_argument("erdos_renyi: p must be in [0,1]");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph waxman(std::size_t n, double alpha, double beta, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("waxman: need n >= 2");
+  if (alpha <= 0 || beta <= 0) throw std::invalid_argument("waxman: alpha, beta > 0");
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& [x, y] : pos) {
+    x = rng.unit();
+    y = rng.unit();
+  }
+  const double scale = beta * std::sqrt(2.0);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = pos[u].first - pos[v].first;
+      const double dy = pos[u].second - pos[v].second;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (rng.chance(alpha * std::exp(-dist / scale))) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph random_two_edge_connected(std::size_t n, std::size_t extra_edges, Rng& rng) {
+  if (n < 3) throw std::invalid_argument("random_two_edge_connected: need n >= 3");
+  const std::size_t max_chords = n * (n - 1) / 2 - n;
+  if (extra_edges > max_chords) {
+    throw std::invalid_argument("random_two_edge_connected: too many extra edges");
+  }
+  Graph g = ring(n);
+  std::set<std::pair<NodeId, NodeId>> used;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto u = static_cast<NodeId>((v + 1) % n);
+    used.insert({std::min(v, u), std::max(v, u)});
+  }
+  std::size_t added = 0;
+  while (added < extra_edges) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    if (used.contains(key)) continue;
+    used.insert(key);
+    g.add_edge(key.first, key.second);
+    ++added;
+  }
+  return g;
+}
+
+Graph random_outerplanar(std::size_t n, std::size_t chords, Rng& rng) {
+  if (n < 3) throw std::invalid_argument("random_outerplanar: need n >= 3");
+  Graph g = ring(n);
+  std::vector<std::pair<NodeId, NodeId>> placed;
+
+  // Chords (a,b) and (c,d), normalised a<b and c<d, cross iff one endpoint of
+  // the second lies strictly inside (a,b) and the other strictly outside.
+  const auto crosses = [](std::pair<NodeId, NodeId> x, std::pair<NodeId, NodeId> y) {
+    const bool c_inside = y.first > x.first && y.first < x.second;
+    const bool d_inside = y.second > x.first && y.second < x.second;
+    return c_inside != d_inside;
+  };
+
+  std::size_t attempts = 8 * chords + 64;
+  while (chords > 0 && attempts-- > 0) {
+    auto a = static_cast<NodeId>(rng.below(n));
+    auto b = static_cast<NodeId>(rng.below(n));
+    if (a > b) std::swap(a, b);
+    if (a == b || b - a == 1 || (a == 0 && b + 1 == n)) continue;  // ring edge
+    const std::pair<NodeId, NodeId> cand{a, b};
+    bool ok = std::find(placed.begin(), placed.end(), cand) == placed.end();
+    for (const auto& p : placed) {
+      if (!ok) break;
+      if (crosses(p, cand) || crosses(cand, p)) ok = false;
+    }
+    if (!ok) continue;
+    placed.push_back(cand);
+    g.add_edge(a, b);
+    --chords;
+  }
+  return g;
+}
+
+Graph petersen() {
+  Graph g(10);
+  // Outer 5-cycle, inner pentagram, five spokes.
+  for (NodeId v = 0; v < 5; ++v) {
+    g.add_edge(v, (v + 1) % 5);
+    g.add_edge(static_cast<NodeId>(5 + v), static_cast<NodeId>(5 + (v + 2) % 5));
+    g.add_edge(v, static_cast<NodeId>(5 + v));
+  }
+  return g;
+}
+
+Graph k5() { return complete(5); }
+
+Graph k33() {
+  Graph g(6);
+  for (NodeId u = 0; u < 3; ++u) {
+    for (NodeId v = 3; v < 6; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace pr::graph

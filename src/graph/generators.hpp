@@ -1,0 +1,56 @@
+// Synthetic graph generators used by property tests, ablation benches and the
+// embedding-quality studies.  All generators produce simple undirected graphs
+// with unit weights unless stated otherwise, and all randomness flows through
+// the caller-provided Rng.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "graph/rng.hpp"
+
+namespace pr::graph {
+
+/// Cycle on n >= 3 nodes (the smallest 2-edge-connected family).
+[[nodiscard]] Graph ring(std::size_t n);
+
+/// Complete graph K_n (n >= 2).
+[[nodiscard]] Graph complete(std::size_t n);
+
+/// rows x cols grid; `wrap` adds the toroidal wrap-around links (making a
+/// 4-regular torus, the classic genus-1 cellular-embedding example).
+[[nodiscard]] Graph grid(std::size_t rows, std::size_t cols, bool wrap = false);
+
+/// Torus == wrapped grid (requires rows >= 3 and cols >= 3 so the wrap edges
+/// are not parallel duplicates).
+[[nodiscard]] Graph torus(std::size_t rows, std::size_t cols);
+
+/// Erdos-Renyi G(n, p).  The result may be disconnected; callers that need
+/// connectivity should test for it or use random_two_edge_connected.
+[[nodiscard]] Graph erdos_renyi(std::size_t n, double p, Rng& rng);
+
+/// Waxman geometric random graph on the unit square:
+/// P(u~v) = alpha * exp(-dist(u,v) / (beta * sqrt(2))).  A common model for
+/// router-level ISP topologies.
+[[nodiscard]] Graph waxman(std::size_t n, double alpha, double beta, Rng& rng);
+
+/// Random 2-edge-connected graph: a Hamiltonian ring plus `extra_edges`
+/// distinct random chords.  This is the workhorse of the PR property suites,
+/// since the paper's single-failure guarantee assumes 2-edge-connectivity.
+[[nodiscard]] Graph random_two_edge_connected(std::size_t n, std::size_t extra_edges,
+                                              Rng& rng);
+
+/// Random outerplanar 2-edge-connected graph: a Hamiltonian ring plus up to
+/// `chords` pairwise non-crossing chords (fewer when the sampler cannot place
+/// more).  Outerplanar graphs are always planar, making this the generator
+/// for the genus-0 guarantee suites.
+[[nodiscard]] Graph random_outerplanar(std::size_t n, std::size_t chords, Rng& rng);
+
+/// Petersen graph: the classic small non-planar (genus 1) test case.
+[[nodiscard]] Graph petersen();
+
+/// K5 and K3,3: the Kuratowski minors, used to validate the planarity test.
+[[nodiscard]] Graph k5();
+[[nodiscard]] Graph k33();
+
+}  // namespace pr::graph

@@ -1,0 +1,29 @@
+// Plain-text edge-list serialisation, so users can load their own topologies
+// into the library and round-trip the bundled ones.
+//
+// Format (one record per line, '#' starts a comment):
+//   node <label>
+//   edge <label-u> <label-v> [weight]
+// Nodes may also be declared implicitly by their first appearance in an edge
+// record.  Weights default to 1.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/graph.hpp"
+
+namespace pr::graph {
+
+/// Serialises `g` in the format above (all nodes listed explicitly, then edges).
+[[nodiscard]] std::string to_edge_list(const Graph& g);
+
+/// Parses the format above.  Throws std::invalid_argument with a line number
+/// on malformed input.
+[[nodiscard]] Graph from_edge_list(std::string_view text);
+
+/// Graphviz DOT rendering for visual inspection: failed edges (when a set is
+/// given) are drawn dashed red, non-unit weights become labels.
+[[nodiscard]] std::string to_dot(const Graph& g, const EdgeSet* failed = nullptr);
+
+}  // namespace pr::graph

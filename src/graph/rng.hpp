@@ -1,0 +1,36 @@
+// Deterministic randomness for experiments.
+//
+// Every stochastic component in the library draws from an explicitly seeded
+// Rng so that tests and benches are reproducible; benches print their seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace pr::graph {
+
+/// Thin wrapper over mt19937_64 with the handful of draws the library needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound) ; bound must be > 0.
+  [[nodiscard]] std::size_t below(std::size_t bound) {
+    return std::uniform_int_distribution<std::size_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double unit() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw.
+  [[nodiscard]] bool chance(double p) { return unit() < p; }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pr::graph

@@ -1,0 +1,137 @@
+#include "net/event_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "net/queueing.hpp"
+
+namespace pr::net {
+
+void Simulator::at(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
+  queue_.push_back(Event{t, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+}
+
+void Simulator::after(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator::after: negative delay");
+  at(now_ + delay, std::move(fn));
+}
+
+void Simulator::run(SimTime limit) {
+  while (!queue_.empty() && queue_.front().time <= limit) {
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
+    now_ = ev.time;
+    ev.fn();
+    ++processed_;
+  }
+  if (queue_.empty() && now_ < limit && limit < std::numeric_limits<SimTime>::infinity()) {
+    now_ = limit;
+  }
+}
+
+namespace {
+
+// Per-flight state kept alive by shared_ptr captured in the event closures.
+struct Flight {
+  const Network* net;
+  ForwardingProtocol* protocol;
+  QueueModel* queues = nullptr;
+  Packet packet;
+  PathTrace trace;
+  NodeId at;
+  DartId arrived_over = graph::kInvalidDart;
+  FlightCallback done;
+};
+
+void step(Simulator& sim, const std::shared_ptr<Flight>& fl) {
+  const Graph& g = fl->net->graph();
+  if (fl->at == fl->packet.destination) {
+    fl->trace.status = DeliveryStatus::kDelivered;
+    fl->trace.final_packet = fl->packet;
+    fl->done(fl->trace);
+    return;
+  }
+  if (fl->packet.ttl == 0) {
+    fl->trace.status = DeliveryStatus::kDropped;
+    fl->trace.drop_reason = DropReason::kTtlExpired;
+    fl->trace.final_packet = fl->packet;
+    fl->done(fl->trace);
+    return;
+  }
+  const ForwardingDecision decision =
+      fl->protocol->forward(*fl->net, fl->at, fl->arrived_over, fl->packet);
+  switch (decision.action) {
+    case ForwardingDecision::Action::kDeliver:
+      if (fl->at != fl->packet.destination) {
+        throw std::logic_error("launch_packet: protocol delivered away from destination");
+      }
+      fl->trace.status = DeliveryStatus::kDelivered;
+      fl->trace.final_packet = fl->packet;
+      fl->done(fl->trace);
+      return;
+    case ForwardingDecision::Action::kDrop:
+      fl->trace.status = DeliveryStatus::kDropped;
+      fl->trace.drop_reason = decision.reason;
+      fl->trace.final_packet = fl->packet;
+      fl->done(fl->trace);
+      return;
+    case ForwardingDecision::Action::kForward:
+      break;
+  }
+  const DartId out = decision.out_dart;
+  if (out == graph::kInvalidDart || g.dart_tail(out) != fl->at) {
+    throw std::logic_error("launch_packet: protocol forwarded from the wrong node");
+  }
+  if (!fl->net->dart_usable(out)) {
+    throw std::logic_error("launch_packet: protocol forwarded over a failed link");
+  }
+  const graph::EdgeId e = graph::dart_edge(out);
+  SimTime departure_delay = fl->net->processing_delay();
+  if (fl->queues != nullptr) {
+    const auto tx_done = fl->queues->enqueue(out, sim.now() + departure_delay);
+    if (!tx_done.has_value()) {
+      fl->trace.status = DeliveryStatus::kDropped;
+      fl->trace.drop_reason = DropReason::kCongestion;
+      fl->trace.final_packet = fl->packet;
+      fl->done(fl->trace);
+      return;
+    }
+    departure_delay = *tx_done - sim.now();
+  }
+  fl->trace.cost += g.edge_weight(e);
+  ++fl->trace.hops;
+  --fl->packet.ttl;
+  fl->at = g.dart_head(out);
+  fl->arrived_over = out;
+  fl->trace.nodes.push_back(fl->at);
+  sim.after(departure_delay + fl->net->link_delay(e),
+            [&sim, fl]() { step(sim, fl); });
+}
+
+}  // namespace
+
+void launch_packet(Simulator& sim, const Network& net, ForwardingProtocol& protocol,
+                   NodeId source, NodeId destination, SimTime start, FlightCallback done,
+                   std::uint32_t ttl, QueueModel* queues) {
+  const Graph& g = net.graph();
+  if (source >= g.node_count() || destination >= g.node_count()) {
+    throw std::out_of_range("launch_packet: endpoint out of range");
+  }
+  auto fl = std::make_shared<Flight>();
+  fl->net = &net;
+  fl->protocol = &protocol;
+  fl->queues = queues;
+  fl->packet.source = source;
+  fl->packet.destination = destination;
+  fl->packet.ttl = ttl == 0 ? default_ttl(g) : ttl;
+  fl->at = source;
+  fl->trace.nodes.push_back(source);
+  fl->done = std::move(done);
+  sim.at(start, [&sim, fl]() { step(sim, fl); });
+}
+
+}  // namespace pr::net

@@ -1,0 +1,71 @@
+// Minimal discrete-event engine plus packet-flight scheduling.
+//
+// The stretch experiments only need the synchronous walker (forwarding.hpp);
+// the event engine adds wall-clock semantics for the scenarios where *when*
+// matters: the reconvergence-loss experiment (E11), failure storms, and link
+// flapping with hold-down timers (Section 7 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/forwarding.hpp"
+#include "net/network.hpp"
+
+namespace pr::net {
+
+/// Time-ordered callback queue.  Events at equal times run in scheduling
+/// order (FIFO), which keeps runs deterministic.
+class Simulator {
+ public:
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` seconds from now.
+  void after(SimTime delay, std::function<void()> fn);
+
+  /// Runs until the queue drains or `limit` is reached (infinity = drain).
+  void run(SimTime limit = std::numeric_limits<SimTime>::infinity());
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t events_processed() const noexcept { return processed_; }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  /// Max-heap comparator inverted so the earliest (time, seq) is on top.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  std::vector<Event> queue_;  // heap ordered by Later
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+/// Completion callback for an in-flight packet.
+using FlightCallback = std::function<void(const PathTrace&)>;
+
+class QueueModel;
+
+/// Injects a packet at `source` at time `start`; hops incur the network's
+/// processing delay plus per-link propagation delay.  Link state is sampled
+/// at each forwarding instant, so failures occurring mid-flight affect the
+/// packet exactly as they would in a real network.  When `queues` is given,
+/// each hop additionally serialises through the interface's transmit queue
+/// and can tail-drop (DropReason::kCongestion).  Calls `done` with the final
+/// trace.
+void launch_packet(Simulator& sim, const Network& net, ForwardingProtocol& protocol,
+                   NodeId source, NodeId destination, SimTime start, FlightCallback done,
+                   std::uint32_t ttl = 0, QueueModel* queues = nullptr);
+
+}  // namespace pr::net

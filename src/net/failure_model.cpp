@@ -1,0 +1,232 @@
+#include "net/failure_model.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+
+namespace pr::net {
+
+using graph::EdgeId;
+using graph::EdgeSet;
+
+std::vector<EdgeSet> all_single_failures(const Graph& g) {
+  std::vector<EdgeSet> out;
+  out.reserve(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EdgeSet s(g.edge_count());
+    s.insert(e);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<EdgeSet> all_node_failures(const Graph& g) {
+  std::vector<EdgeSet> out;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.degree(v) == 0) continue;
+    EdgeSet s(g.edge_count());
+    for (graph::DartId d : g.out_darts(v)) s.insert(graph::dart_edge(d));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<EdgeSet> sample_connected_failures(const Graph& g, std::size_t k,
+                                               std::size_t scenarios, graph::Rng& rng,
+                                               std::size_t max_attempts_per_scenario) {
+  if (k > g.edge_count()) {
+    throw std::invalid_argument("sample_connected_failures: k exceeds edge count");
+  }
+
+  // When the k-subset space is small, enumerate it instead of sampling: the
+  // caller gets every qualifying scenario (possibly fewer than requested),
+  // shuffled so that truncation by the caller stays unbiased.
+  double combos = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    combos *= static_cast<double>(g.edge_count() - i) / static_cast<double>(i + 1);
+  }
+  if (combos <= static_cast<double>(std::max<std::size_t>(4 * scenarios, 4096))) {
+    std::vector<EdgeSet> qualifying;
+    for (auto& candidate : enumerate_failures(g, k)) {
+      if (graph::is_connected(g, &candidate)) qualifying.push_back(std::move(candidate));
+    }
+    if (qualifying.empty()) {
+      throw std::invalid_argument(
+          "sample_connected_failures: no connectivity-preserving failure set of size " +
+          std::to_string(k) + " exists");
+    }
+    std::shuffle(qualifying.begin(), qualifying.end(), rng.engine());
+    if (qualifying.size() > scenarios) qualifying.resize(scenarios);
+    return qualifying;
+  }
+
+  std::vector<EdgeSet> out;
+  std::set<std::vector<EdgeId>> seen;  // avoid duplicate scenarios
+  out.reserve(scenarios);
+  while (out.size() < scenarios) {
+    bool found = false;
+    for (std::size_t attempt = 0; attempt < max_attempts_per_scenario; ++attempt) {
+      EdgeSet candidate(g.edge_count());
+      while (candidate.size() < k) {
+        candidate.insert(static_cast<EdgeId>(rng.below(g.edge_count())));
+      }
+      if (!graph::is_connected(g, &candidate)) continue;
+      std::vector<EdgeId> key(candidate.elements().begin(), candidate.elements().end());
+      std::sort(key.begin(), key.end());
+      // Duplicates are allowed once the space is almost exhausted, but prefer
+      // fresh scenarios while they exist.
+      if (seen.contains(key) && seen.size() < scenarios) continue;
+      seen.insert(key);
+      out.push_back(std::move(candidate));
+      found = true;
+      break;
+    }
+    if (!found) {
+      throw std::invalid_argument(
+          "sample_connected_failures: could not find a connectivity-preserving "
+          "failure set of size " +
+          std::to_string(k));
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeSet> sample_any_failures(const Graph& g, std::size_t k,
+                                         std::size_t scenarios, graph::Rng& rng) {
+  if (k > g.edge_count()) {
+    throw std::invalid_argument("sample_any_failures: k exceeds edge count");
+  }
+  std::vector<EdgeSet> out;
+  out.reserve(scenarios);
+  for (std::size_t i = 0; i < scenarios; ++i) {
+    EdgeSet candidate(g.edge_count());
+    while (candidate.size() < k) {
+      candidate.insert(static_cast<EdgeId>(rng.below(g.edge_count())));
+    }
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+std::vector<EdgeSet> enumerate_failures(const Graph& g, std::size_t k) {
+  std::vector<EdgeSet> out;
+  const std::size_t m = g.edge_count();
+  if (k > m) return out;
+  std::vector<EdgeId> combo(k);
+  for (std::size_t i = 0; i < k; ++i) combo[i] = static_cast<EdgeId>(i);
+  while (true) {
+    EdgeSet s(m);
+    for (EdgeId e : combo) s.insert(e);
+    out.push_back(std::move(s));
+    // Next lexicographic combination.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (combo[i] + (k - i) < m) {
+        ++combo[i];
+        for (std::size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return out;
+    }
+    if (k == 0) return out;
+  }
+}
+
+std::size_t SrlgCatalog::add_group(std::vector<graph::EdgeId> members) {
+  std::vector<graph::EdgeId> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("SrlgCatalog::add_group: duplicate member");
+  }
+  for (graph::EdgeId e : sorted) {
+    if (e >= graph_->edge_count()) {
+      throw std::out_of_range("SrlgCatalog::add_group: edge out of range");
+    }
+  }
+  if (sorted.empty()) {
+    throw std::invalid_argument("SrlgCatalog::add_group: empty group");
+  }
+  groups_.push_back(std::move(members));
+  return groups_.size() - 1;
+}
+
+graph::EdgeSet SrlgCatalog::scenario(std::size_t group) const {
+  graph::EdgeSet out(graph_->edge_count());
+  for (graph::EdgeId e : groups_.at(group)) out.insert(e);
+  return out;
+}
+
+void SrlgCatalog::fail_group(Network& net, std::size_t group) const {
+  for (graph::EdgeId e : groups_.at(group)) net.fail_link(e);
+}
+
+void SrlgCatalog::restore_group(Network& net, std::size_t group) const {
+  for (graph::EdgeId e : groups_.at(group)) net.restore_link(e);
+}
+
+std::vector<std::size_t> SrlgCatalog::disconnecting_groups() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    const auto failures = scenario(i);
+    if (!graph::is_connected(*graph_, &failures)) out.push_back(i);
+  }
+  return out;
+}
+
+SrlgCatalog random_srlgs(const Graph& g, std::size_t groups, std::size_t max_size,
+                         graph::Rng& rng) {
+  if (max_size == 0) throw std::invalid_argument("random_srlgs: max_size must be > 0");
+  if (g.edge_count() == 0) throw std::invalid_argument("random_srlgs: empty graph");
+  SrlgCatalog catalog(g);
+  for (std::size_t i = 0; i < groups; ++i) {
+    // Anchor at a node with at least one link; gather incident links first,
+    // then links of neighbours, until the group is full.
+    NodeId anchor;
+    do {
+      anchor = static_cast<NodeId>(rng.below(g.node_count()));
+    } while (g.degree(anchor) == 0);
+
+    std::vector<graph::EdgeId> members;
+    std::vector<std::uint8_t> taken(g.edge_count(), 0);
+    const auto grab = [&](NodeId v) {
+      for (graph::DartId d : g.out_darts(v)) {
+        const graph::EdgeId e = graph::dart_edge(d);
+        if (members.size() < max_size && taken[e] == 0 && rng.chance(0.6)) {
+          taken[e] = 1;
+          members.push_back(e);
+        }
+      }
+    };
+    grab(anchor);
+    for (graph::DartId d : g.out_darts(anchor)) grab(g.dart_head(d));
+    if (members.empty()) {
+      // Guarantee at least the anchor's first link.
+      members.push_back(graph::dart_edge(g.out_darts(anchor)[0]));
+    }
+    catalog.add_group(std::move(members));
+  }
+  return catalog;
+}
+
+FlapDamper::FlapDamper(Simulator& sim, Network& net, SimTime hold_down)
+    : sim_(&sim), net_(&net), hold_down_(hold_down),
+      generation_(net.graph().edge_count(), 0) {
+  if (hold_down < 0) throw std::invalid_argument("FlapDamper: negative hold down");
+}
+
+void FlapDamper::fail(graph::EdgeId e) {
+  ++generation_.at(e);  // invalidates any pending restore
+  net_->fail_link(e);
+}
+
+void FlapDamper::request_restore(graph::EdgeId e) {
+  const std::uint64_t gen = ++generation_.at(e);
+  sim_->after(hold_down_, [this, e, gen]() {
+    if (generation_.at(e) == gen) net_->restore_link(e);
+  });
+}
+
+}  // namespace pr::net

@@ -1,0 +1,90 @@
+#include "net/forwarding.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pr::net {
+
+std::string trace_to_string(const Graph& g, const PathTrace& trace) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < trace.nodes.size(); ++i) {
+    out << (i ? " > " : "") << g.display_name(trace.nodes[i]);
+  }
+  if (trace.delivered()) {
+    out << " (delivered, " << trace.hops << " hops, cost " << trace.cost << ")";
+  } else {
+    out << " (DROPPED after " << trace.hops << " hops)";
+  }
+  return out.str();
+}
+
+std::uint32_t default_ttl(const Graph& g) noexcept {
+  return static_cast<std::uint32_t>(4 * g.edge_count() + 16);
+}
+
+PathTrace route_packet(const Network& net, ForwardingProtocol& protocol, NodeId source,
+                       NodeId destination, std::uint32_t ttl,
+                       std::uint8_t traffic_class) {
+  const Graph& g = net.graph();
+  if (source >= g.node_count() || destination >= g.node_count()) {
+    throw std::out_of_range("route_packet: endpoint out of range");
+  }
+  if (ttl == 0) ttl = default_ttl(g);
+
+  Packet packet;
+  packet.source = source;
+  packet.destination = destination;
+  packet.ttl = ttl;
+  packet.traffic_class = traffic_class;
+
+  PathTrace trace;
+  trace.nodes.push_back(source);
+
+  NodeId at = source;
+  DartId arrived_over = graph::kInvalidDart;
+
+  while (true) {
+    if (at == destination) {
+      trace.status = DeliveryStatus::kDelivered;
+      break;
+    }
+    if (packet.ttl == 0) {
+      trace.status = DeliveryStatus::kDropped;
+      trace.drop_reason = DropReason::kTtlExpired;
+      break;
+    }
+    const ForwardingDecision decision = protocol.forward(net, at, arrived_over, packet);
+    if (decision.action == ForwardingDecision::Action::kDeliver) {
+      // Protocols may only deliver at the destination.
+      if (at != destination) {
+        throw std::logic_error("route_packet: protocol delivered away from destination");
+      }
+      trace.status = DeliveryStatus::kDelivered;
+      break;
+    }
+    if (decision.action == ForwardingDecision::Action::kDrop) {
+      trace.status = DeliveryStatus::kDropped;
+      trace.drop_reason = decision.reason;
+      break;
+    }
+    const DartId out = decision.out_dart;
+    if (out == graph::kInvalidDart || g.dart_tail(out) != at) {
+      throw std::logic_error("route_packet: protocol forwarded from the wrong node");
+    }
+    if (!net.dart_usable(out)) {
+      throw std::logic_error("route_packet: protocol forwarded over a failed link (" +
+                             g.dart_name(out) + ")");
+    }
+    trace.cost += g.edge_weight(graph::dart_edge(out));
+    ++trace.hops;
+    --packet.ttl;
+    at = g.dart_head(out);
+    arrived_over = out;
+    trace.nodes.push_back(at);
+  }
+
+  trace.final_packet = std::move(packet);
+  return trace;
+}
+
+}  // namespace pr::net

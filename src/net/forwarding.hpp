@@ -1,0 +1,105 @@
+// The forwarding-protocol interface and the synchronous packet walker.
+//
+// Every compared scheme (plain SPF, Reconvergence, FCP, LFA, Packet
+// Re-cycling) implements ForwardingProtocol: a purely local decision made at
+// one router from (incoming interface, packet header, local state, local link
+// status).  The walker `route_packet` drives a single packet hop by hop and
+// records the trace; the discrete-event simulator drives the same interface
+// with timing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+
+namespace pr::net {
+
+enum class DropReason : std::uint8_t {
+  kNone = 0,
+  kNoRoute,        ///< protocol has no usable next hop (e.g. FCP found no path)
+  kTtlExpired,     ///< walker guard fired (disconnected destination or bug)
+  kPolicy,         ///< protocol chose to discard (e.g. reconvergence window)
+  kCongestion,     ///< interface transmit queue overflowed (event sim only)
+};
+
+struct ForwardingDecision {
+  enum class Action : std::uint8_t { kForward, kDeliver, kDrop };
+  Action action = Action::kDrop;
+  /// Valid when action == kForward; must be an out-dart of the deciding node
+  /// over a link that is currently up.
+  DartId out_dart = graph::kInvalidDart;
+  DropReason reason = DropReason::kNone;
+
+  [[nodiscard]] static ForwardingDecision forward(DartId d) {
+    return {Action::kForward, d, DropReason::kNone};
+  }
+  [[nodiscard]] static ForwardingDecision deliver() {
+    return {Action::kDeliver, graph::kInvalidDart, DropReason::kNone};
+  }
+  [[nodiscard]] static ForwardingDecision drop(DropReason r) {
+    return {Action::kDrop, graph::kInvalidDart, r};
+  }
+};
+
+/// A routing scheme's per-router forwarding logic.  Implementations must obey
+/// locality: decisions may depend only on the arguments (which include the
+/// deciding node's view of its *incident* link state via `net`) and on state
+/// installed before the failures occurred (routing / cycle-following tables).
+class ForwardingProtocol {
+ public:
+  virtual ~ForwardingProtocol() = default;
+
+  /// Decides what router `at` does with `packet`, which arrived over
+  /// `arrived_over` (kInvalidDart when `at` is the source).  May mutate the
+  /// packet header (PR/DD bits, FCP failure list).
+  [[nodiscard]] virtual ForwardingDecision forward(const Network& net, NodeId at,
+                                                   DartId arrived_over,
+                                                   Packet& packet) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+enum class DeliveryStatus : std::uint8_t { kDelivered, kDropped };
+
+/// Everything a single packet experienced.
+struct PathTrace {
+  DeliveryStatus status = DeliveryStatus::kDropped;
+  DropReason drop_reason = DropReason::kNone;
+  /// Node visit sequence, starting at the source; for delivered packets the
+  /// last entry is the destination.
+  std::vector<NodeId> nodes;
+  /// Sum of traversed link weights.
+  double cost = 0.0;
+  /// Number of links traversed (== nodes.size() - 1).
+  std::uint32_t hops = 0;
+  /// Header state at the end of the walk (DD bits, FCP list, ...).
+  Packet final_packet;
+
+  [[nodiscard]] bool delivered() const noexcept {
+    return status == DeliveryStatus::kDelivered;
+  }
+};
+
+/// Default TTL: generous multiple of the edge count so that correct protocols
+/// never hit it while broken ones terminate.
+[[nodiscard]] std::uint32_t default_ttl(const Graph& g) noexcept;
+
+/// "Seattle > Denver > KansasCity (delivered, 2 hops, cost 2)" rendering,
+/// shared by the examples and the CLI.
+[[nodiscard]] std::string trace_to_string(const Graph& g, const PathTrace& trace);
+
+/// Drives one packet from `source` to `destination` under `protocol`.
+/// `ttl` of 0 selects default_ttl(); `traffic_class` feeds Section-7 policy
+/// gating.  Throws std::logic_error if the protocol violates the forwarding
+/// contract (forwards over a down link or away from the deciding node).
+[[nodiscard]] PathTrace route_packet(const Network& net, ForwardingProtocol& protocol,
+                                     NodeId source, NodeId destination,
+                                     std::uint32_t ttl = 0,
+                                     std::uint8_t traffic_class = 0);
+
+}  // namespace pr::net

@@ -1,0 +1,42 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace pr::net {
+
+Network::Network(const Graph& g)
+    : graph_(&g), failed_(g.edge_count()), link_delay_(g.edge_count(), 1e-3) {}
+
+void Network::fail_link(EdgeId e) {
+  if (e >= graph_->edge_count()) {
+    throw std::out_of_range("Network::fail_link: edge out of range");
+  }
+  failed_.insert(e);
+}
+
+void Network::restore_link(EdgeId e) {
+  if (e >= graph_->edge_count()) {
+    throw std::out_of_range("Network::restore_link: edge out of range");
+  }
+  failed_.erase(e);
+}
+
+void Network::fail_node(NodeId v) {
+  for (DartId d : graph_->out_darts(v)) failed_.insert(graph::dart_edge(d));
+}
+
+void Network::reset() { failed_.clear(); }
+
+void Network::set_link_delay(EdgeId e, SimTime delay) {
+  if (delay < 0) throw std::invalid_argument("Network::set_link_delay: negative delay");
+  link_delay_.at(e) = delay;
+}
+
+void Network::set_processing_delay(SimTime delay) {
+  if (delay < 0) {
+    throw std::invalid_argument("Network::set_processing_delay: negative delay");
+  }
+  processing_delay_ = delay;
+}
+
+}  // namespace pr::net

@@ -1,0 +1,60 @@
+// The network under simulation: a graph plus mutable link state and timing
+// parameters.  Failures are bidirectional (the paper's Section 4 assumption):
+// a failed edge is unusable in both dart directions.  Node failure is
+// modelled as all incident links failing.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace pr::net {
+
+using graph::DartId;
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+class Network {
+ public:
+  /// The graph must outlive the network.
+  explicit Network(const Graph& g);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  [[nodiscard]] bool link_up(EdgeId e) const { return !failed_.contains(e); }
+  /// A dart is usable iff its underlying link is up (bidirectional failures).
+  [[nodiscard]] bool dart_usable(DartId d) const { return link_up(graph::dart_edge(d)); }
+
+  void fail_link(EdgeId e);
+  void restore_link(EdgeId e);
+  /// Fails every link incident to `v`.
+  void fail_node(NodeId v);
+  /// Restores every link.
+  void reset();
+
+  /// The current failure scenario as an edge set (usable as a Dijkstra filter).
+  [[nodiscard]] const graph::EdgeSet& failed_links() const noexcept { return failed_; }
+  [[nodiscard]] std::size_t failure_count() const noexcept { return failed_.size(); }
+
+  // -- timing (used by the discrete-event simulator) --
+
+  /// Per-link propagation delay; default 1 ms.
+  void set_link_delay(EdgeId e, SimTime delay);
+  [[nodiscard]] SimTime link_delay(EdgeId e) const { return link_delay_.at(e); }
+
+  /// Per-hop forwarding/processing delay applied at every router; default 10 us.
+  void set_processing_delay(SimTime delay);
+  [[nodiscard]] SimTime processing_delay() const noexcept { return processing_delay_; }
+
+ private:
+  const Graph* graph_;
+  graph::EdgeSet failed_;
+  std::vector<SimTime> link_delay_;
+  SimTime processing_delay_ = 10e-6;
+};
+
+}  // namespace pr::net

@@ -1,0 +1,47 @@
+// The simulated packet.
+//
+// Carries exactly the header state the compared protocols need:
+//   * PR bit + distance discriminator (Packet Re-cycling, Sections 4.2/4.3),
+//   * the accumulated failed-link list (Failure-Carrying Packets baseline),
+// plus bookkeeping (ttl, id) that belongs to the simulator, not the wire.
+// The wire-format cost of the PR fields is modelled by net/header_codec.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pr::net {
+
+using graph::DartId;
+using graph::EdgeId;
+using graph::NodeId;
+
+struct Packet {
+  NodeId source = graph::kInvalidNode;
+  NodeId destination = graph::kInvalidNode;
+
+  /// Packet Re-cycling header: set => the packet is in cycle-following mode.
+  bool pr_bit = false;
+  /// Distance discriminator stamped by the first failure-detecting router.
+  /// Meaningful only while pr_bit is set.
+  std::uint32_t dd = 0;
+
+  /// Failure-Carrying Packets baseline: links learned to be down, in
+  /// discovery order (kept sorted-unique by the FCP protocol).
+  std::vector<EdgeId> fcp_failures;
+
+  /// Simulator guard against protocol bugs and genuinely disconnected
+  /// destinations; decremented per hop.
+  std::uint32_t ttl = 0;
+
+  /// DSCP class selector (0..7); lets Section-7 policies scope PR protection
+  /// to premium traffic classes.
+  std::uint8_t traffic_class = 0;
+
+  /// Simulator-assigned identifier for traces and logs.
+  std::uint64_t id = 0;
+};
+
+}  // namespace pr::net

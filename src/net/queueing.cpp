@@ -1,0 +1,37 @@
+#include "net/queueing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pr::net {
+
+QueueModel::QueueModel(const Network& net, Config config)
+    : net_(&net), config_(config) {
+  if (config.link_rate_bps <= 0 || config.packet_bits <= 0) {
+    throw std::invalid_argument("QueueModel: rate and packet size must be positive");
+  }
+  if (config.queue_packets == 0) {
+    throw std::invalid_argument("QueueModel: queue must hold at least one packet");
+  }
+  tx_time_ = config.packet_bits / config.link_rate_bps;
+  next_free_.assign(net.graph().dart_count(), 0.0);
+}
+
+std::optional<SimTime> QueueModel::enqueue(graph::DartId d, SimTime now) {
+  SimTime& free_at = next_free_.at(d);
+  const SimTime start = std::max(now, free_at);
+  // Packets currently queued ahead = waiting time over per-packet service.
+  const double backlog = (start - now) / tx_time_;
+  if (backlog >= static_cast<double>(config_.queue_packets)) {
+    ++tail_drops_;
+    return std::nullopt;
+  }
+  free_at = start + tx_time_;
+  return free_at;
+}
+
+void QueueModel::flush() {
+  std::fill(next_free_.begin(), next_free_.end(), 0.0);
+}
+
+}  // namespace pr::net

@@ -1,0 +1,56 @@
+// Interface transmission queues: capacity and loss beyond failures.
+//
+// The paper's motivation prices outages in packets ("a heavily loaded OC-192
+// ... more than a quarter of a million packets"), which makes load a
+// first-class quantity.  This model adds the two effects a real interface
+// has and the plain event simulator lacks:
+//   * serialization: a packet occupies the transmitter for
+//     packet_bits / link_rate seconds, so back-to-back packets queue;
+//   * finite buffers: when the backlog reaches queue_packets, new arrivals
+//     are tail-dropped (DropReason::kCongestion).
+// One queue per dart (per interface direction), as in real routers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace pr::net {
+
+class QueueModel {
+ public:
+  struct Config {
+    double link_rate_bps = 10e9;     ///< per-interface line rate
+    double packet_bits = 8000;       ///< the paper's 1 kB average packet
+    std::size_t queue_packets = 64;  ///< buffer depth per interface
+  };
+
+  /// `net` must outlive the model.
+  QueueModel(const Network& net, Config config);
+
+  /// Admits a packet to dart `d`'s transmit queue at time `now`.  Returns the
+  /// transmission-complete time, or nullopt when the buffer is full.
+  [[nodiscard]] std::optional<SimTime> enqueue(graph::DartId d, SimTime now);
+
+  /// Seconds one packet occupies a transmitter.
+  [[nodiscard]] SimTime transmission_time() const noexcept { return tx_time_; }
+
+  /// Tail drops so far (the congestion-loss counter).
+  [[nodiscard]] std::uint64_t tail_drops() const noexcept { return tail_drops_; }
+
+  /// Resets queue state (buffers drain instantly); counters are kept.
+  void flush();
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  const Network* net_;
+  Config config_;
+  SimTime tx_time_;
+  /// Per dart: when its transmitter becomes idle again.
+  std::vector<SimTime> next_free_;
+  std::uint64_t tail_drops_ = 0;
+};
+
+}  // namespace pr::net

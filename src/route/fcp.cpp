@@ -1,0 +1,48 @@
+#include "route/fcp.hpp"
+
+#include <algorithm>
+
+namespace pr::route {
+
+const graph::ShortestPathTree& FcpRouting::tree_for(const std::vector<EdgeId>& failures,
+                                                    NodeId dest) {
+  CacheKey key{failures, dest};
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  graph::EdgeSet excluded(graph_->edge_count());
+  for (EdgeId e : failures) excluded.insert(e);
+  ++spf_computations_;
+  auto [inserted, ok] =
+      cache_.emplace(std::move(key), graph::shortest_paths_to(*graph_, dest, &excluded));
+  return inserted->second;
+}
+
+net::ForwardingDecision FcpRouting::forward(const net::Network& net, NodeId at,
+                                            DartId /*arrived_over*/,
+                                            net::Packet& packet) {
+  if (at == packet.destination) return net::ForwardingDecision::deliver();
+
+  // Learn, recompute and retry until a usable next hop emerges or the
+  // destination is unreachable given everything this packet knows.
+  while (true) {
+    const auto& tree = tree_for(packet.fcp_failures, packet.destination);
+    if (!tree.reachable(at)) {
+      return net::ForwardingDecision::drop(net::DropReason::kNoRoute);
+    }
+    const DartId out = tree.next_dart[at];
+    if (net.dart_usable(out)) return net::ForwardingDecision::forward(out);
+
+    // Adjacent failure discovered: record it (sorted-unique) and recompute.
+    const EdgeId failed = graph::dart_edge(out);
+    const auto pos =
+        std::lower_bound(packet.fcp_failures.begin(), packet.fcp_failures.end(), failed);
+    if (pos != packet.fcp_failures.end() && *pos == failed) {
+      // Already known yet still chosen: would be a routing contradiction.
+      return net::ForwardingDecision::drop(net::DropReason::kNoRoute);
+    }
+    packet.fcp_failures.insert(pos, failed);
+  }
+}
+
+}  // namespace pr::route

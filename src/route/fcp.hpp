@@ -1,0 +1,56 @@
+// Failure-Carrying Packets (Lakshminarayanan et al., SIGCOMM 2007) -- the
+// paper's principal multi-failure-capable comparison point.
+//
+// Each packet carries the list of failed links it has learned about.  A
+// router forwards along the shortest path in the topology minus that list;
+// when the chosen link turns out to be down, the router appends it to the
+// packet and recomputes.  Delivery is guaranteed whenever the destination
+// stays connected, at the price of (a) per-packet header space proportional
+// to the number of carried failures and (b) an SPF computation at every
+// router that sees a new failure list.  This implementation memoises SPF
+// results per (failure list, destination), which mirrors the paper's remark
+// that FCP routers can cache per-flow routing state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/forwarding.hpp"
+#include "route/routing_db.hpp"
+
+namespace pr::route {
+
+class FcpRouting final : public net::ForwardingProtocol {
+ public:
+  /// `g` must outlive the protocol.
+  explicit FcpRouting(const Graph& g) : graph_(&g) {}
+
+  [[nodiscard]] net::ForwardingDecision forward(const net::Network& net, NodeId at,
+                                                DartId arrived_over,
+                                                net::Packet& packet) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "fcp"; }
+
+  /// Number of distinct (failure list, destination) SPF computations so far:
+  /// the on-demand computation cost the paper contrasts with PR's zero.
+  [[nodiscard]] std::size_t spf_computations() const noexcept {
+    return spf_computations_;
+  }
+
+  /// Memoised entries currently cached (per-flow state analogue).
+  [[nodiscard]] std::size_t cached_tables() const noexcept { return cache_.size(); }
+
+ private:
+  using CacheKey = std::pair<std::vector<EdgeId>, NodeId>;
+
+  const graph::ShortestPathTree& tree_for(const std::vector<EdgeId>& failures,
+                                          NodeId dest);
+
+  const Graph* graph_;
+  std::map<CacheKey, graph::ShortestPathTree> cache_;
+  std::size_t spf_computations_ = 0;
+};
+
+}  // namespace pr::route

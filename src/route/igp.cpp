@@ -1,0 +1,116 @@
+#include "route/igp.hpp"
+
+namespace pr::route {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+/// Data-plane forwarding against the per-router tables of the moment.
+class LinkStateIgp::Forwarding final : public net::ForwardingProtocol {
+ public:
+  explicit Forwarding(LinkStateIgp& igp) : igp_(&igp) {}
+
+  [[nodiscard]] net::ForwardingDecision forward(const net::Network& net, NodeId at,
+                                                graph::DartId /*arrived_over*/,
+                                                net::Packet& packet) override {
+    if (at == packet.destination) return net::ForwardingDecision::deliver();
+    const auto& table = igp_->tables_[at];
+    const graph::DartId out = table.next_dart(at, packet.destination);
+    if (out == graph::kInvalidDart) {
+      return net::ForwardingDecision::drop(net::DropReason::kNoRoute);
+    }
+    if (!net.dart_usable(out)) {
+      // The router's own interface is down but its table still points there:
+      // the classic pre-convergence loss.
+      return net::ForwardingDecision::drop(net::DropReason::kPolicy);
+    }
+    return net::ForwardingDecision::forward(out);
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "igp"; }
+
+ private:
+  LinkStateIgp* igp_;
+};
+
+LinkStateIgp::LinkStateIgp(net::Simulator& sim, net::Network& network)
+    : LinkStateIgp(sim, network, Timings{}) {}
+
+LinkStateIgp::~LinkStateIgp() = default;
+
+net::ForwardingProtocol& LinkStateIgp::protocol() noexcept { return *protocol_; }
+
+LinkStateIgp::LinkStateIgp(net::Simulator& sim, net::Network& network, Timings timings)
+    : sim_(&sim), network_(&network), timings_(timings) {
+  const auto& g = network.graph();
+  known_failures_.reserve(g.node_count());
+  tables_.reserve(g.node_count());
+  recompute_pending_.assign(g.node_count(), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    known_failures_.emplace_back(g.edge_count());
+    tables_.emplace_back(g);
+  }
+  protocol_ = std::make_unique<Forwarding>(*this);
+}
+
+void LinkStateIgp::on_link_failure(EdgeId e) {
+  ++injected_failures_;
+  const auto& g = network_->graph();
+  // Both endpoints detect the loss after the detection delay, adopt the
+  // information and start flooding.
+  for (const NodeId endpoint : {g.edge_u(e), g.edge_v(e)}) {
+    sim_->after(timings_.detection_delay, [this, endpoint, e] { learn(endpoint, e); });
+  }
+}
+
+void LinkStateIgp::learn(NodeId v, EdgeId e) {
+  if (known_failures_[v].contains(e)) return;  // duplicate LSA: drop silently
+  known_failures_[v].insert(e);
+  schedule_recompute(v);
+  flood_from(v, e);
+}
+
+void LinkStateIgp::flood_from(NodeId v, EdgeId e) {
+  const auto& g = network_->graph();
+  for (const graph::DartId d : g.out_darts(v)) {
+    const EdgeId link = graph::dart_edge(d);
+    // LSAs travel only over links the sender believes usable AND that are
+    // physically up at transmission time.
+    if (known_failures_[v].contains(link) || !network_->link_up(link)) continue;
+    const NodeId neighbour = g.dart_head(d);
+    ++lsa_messages_;
+    sim_->after(network_->link_delay(link) + timings_.lsa_processing,
+                [this, neighbour, e] { learn(neighbour, e); });
+  }
+}
+
+void LinkStateIgp::schedule_recompute(NodeId v) {
+  if (recompute_pending_[v] != 0) return;  // SPF throttled: one run pending
+  recompute_pending_[v] = 1;
+  sim_->after(timings_.spf_delay, [this, v] {
+    recompute_pending_[v] = 0;
+    tables_[v] = RoutingDb(network_->graph(), &known_failures_[v]);
+    ++spf_runs_;
+    last_update_ = sim_->now();
+  });
+}
+
+bool LinkStateIgp::converged(NodeId v) const {
+  // v is converged when it knows every injected failure and has folded that
+  // knowledge into its table (no recompute pending).
+  if (recompute_pending_[v] != 0) return false;
+  const auto& actual = network_->failed_links();
+  for (const EdgeId e : actual.elements()) {
+    if (!known_failures_[v].contains(e)) return false;
+  }
+  return true;
+}
+
+bool LinkStateIgp::fully_converged() const {
+  for (NodeId v = 0; v < network_->graph().node_count(); ++v) {
+    if (!converged(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace pr::route

@@ -1,0 +1,95 @@
+// Event-driven link-state IGP convergence (OSPF-flavoured).
+//
+// The paper's "Re-convergence" baseline is the full routing-protocol machinery:
+// failure detection, LSA flooding, throttled SPF recomputation and FIB update,
+// during which packets are lost at the failure point and -- because routers
+// update at different instants -- transient micro-loops can form.  This module
+// models that process per router on the discrete-event simulator:
+//
+//   t0        link fails
+//   +detection     adjacent routers notice and originate LSAs
+//   flooding       LSAs propagate hop by hop over live links
+//                  (link propagation delay + per-router processing)
+//   +spf_delay     each router recomputes its table spf_delay after it first
+//                  learns of a change (SPF throttle + FIB update)
+//
+// Restores are not modelled (the experiments fail links, measure, reset),
+// which matches how the paper's loss window is defined.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/event_sim.hpp"
+#include "net/forwarding.hpp"
+#include "route/routing_db.hpp"
+
+namespace pr::route {
+
+class LinkStateIgp {
+ public:
+  struct Timings {
+    net::SimTime detection_delay = 50e-3;  ///< carrier loss / BFD interval
+    net::SimTime lsa_processing = 1e-3;    ///< per-router LSA handling
+    net::SimTime spf_delay = 100e-3;       ///< SPF throttle + FIB update
+  };
+
+  /// `sim` and `network` must outlive the IGP.  All routers start with
+  /// tables computed on the pristine topology.
+  LinkStateIgp(net::Simulator& sim, net::Network& network, Timings timings);
+  LinkStateIgp(net::Simulator& sim, net::Network& network);
+
+  LinkStateIgp(const LinkStateIgp&) = delete;
+  LinkStateIgp& operator=(const LinkStateIgp&) = delete;
+  ~LinkStateIgp();
+
+  /// Tells the IGP that `e` just failed (call right after Network::fail_link;
+  /// detection and flooding unfold from sim.now()).
+  void on_link_failure(graph::EdgeId e);
+
+  /// The data-plane view: forwards with each router's CURRENT table; packets
+  /// meeting a failed link at a stale router are dropped (kPolicy), and
+  /// table inconsistencies can micro-loop until the walker TTL fires.
+  [[nodiscard]] net::ForwardingProtocol& protocol() noexcept;
+
+  /// True when router `v`'s table reflects every failure injected so far.
+  [[nodiscard]] bool converged(graph::NodeId v) const;
+  /// True when every router has converged.
+  [[nodiscard]] bool fully_converged() const;
+
+  /// Total LSA messages transmitted (the flooding overhead the paper contrasts
+  /// with PR's zero signalling).
+  [[nodiscard]] std::uint64_t lsa_messages() const noexcept { return lsa_messages_; }
+  /// Simulation time of the most recent table update.
+  [[nodiscard]] net::SimTime last_table_update() const noexcept {
+    return last_update_;
+  }
+  /// SPF recomputations performed across all routers.
+  [[nodiscard]] std::uint64_t spf_runs() const noexcept { return spf_runs_; }
+
+ private:
+  class Forwarding;
+
+  /// Router `v` learns that `e` failed (via detection or an LSA).
+  void learn(graph::NodeId v, graph::EdgeId e);
+  void flood_from(graph::NodeId v, graph::EdgeId e);
+  void schedule_recompute(graph::NodeId v);
+
+  net::Simulator* sim_;
+  net::Network* network_;
+  Timings timings_;
+
+  /// Per-router link-state database (known failed edges) and routing table.
+  std::vector<graph::EdgeSet> known_failures_;
+  std::vector<RoutingDb> tables_;
+  std::vector<std::uint8_t> recompute_pending_;
+  std::size_t injected_failures_ = 0;
+
+  std::unique_ptr<Forwarding> protocol_;
+  std::uint64_t lsa_messages_ = 0;
+  std::uint64_t spf_runs_ = 0;
+  net::SimTime last_update_ = 0;
+};
+
+}  // namespace pr::route

@@ -1,0 +1,51 @@
+#include "route/reconvergence.hpp"
+
+namespace pr::route {
+
+namespace {
+
+net::ForwardingDecision forward_with(const RoutingDb& routes, const net::Network& net,
+                                     NodeId at, net::Packet& packet) {
+  if (at == packet.destination) return net::ForwardingDecision::deliver();
+  const DartId out = routes.next_dart(at, packet.destination);
+  if (out == graph::kInvalidDart || !net.dart_usable(out)) {
+    return net::ForwardingDecision::drop(net::DropReason::kNoRoute);
+  }
+  return net::ForwardingDecision::forward(out);
+}
+
+}  // namespace
+
+ReconvergedRouting::ReconvergedRouting(const net::Network& net)
+    : routes_(net.graph(), &net.failed_links()) {}
+
+net::ForwardingDecision ReconvergedRouting::forward(const net::Network& net, NodeId at,
+                                                    DartId /*arrived_over*/,
+                                                    net::Packet& packet) {
+  return forward_with(routes_, net, at, packet);
+}
+
+TimedReconvergence::TimedReconvergence(const net::Network& net, const RoutingDb& before)
+    : net_(&net), before_(&before) {}
+
+void TimedReconvergence::complete_convergence() {
+  after_ = std::make_unique<RoutingDb>(net_->graph(), &net_->failed_links());
+}
+
+net::ForwardingDecision TimedReconvergence::forward(const net::Network& net, NodeId at,
+                                                    DartId /*arrived_over*/,
+                                                    net::Packet& packet) {
+  if (after_ != nullptr) return forward_with(*after_, net, at, packet);
+  if (at == packet.destination) return net::ForwardingDecision::deliver();
+  const DartId out = before_->next_dart(at, packet.destination);
+  if (out == graph::kInvalidDart) {
+    return net::ForwardingDecision::drop(net::DropReason::kNoRoute);
+  }
+  if (!net.dart_usable(out)) {
+    // Pre-convergence: no alternative installed yet, the packet is lost.
+    return net::ForwardingDecision::drop(net::DropReason::kPolicy);
+  }
+  return net::ForwardingDecision::forward(out);
+}
+
+}  // namespace pr::route

@@ -1,0 +1,69 @@
+// The "Re-convergence" baseline of the paper's Figure 2.
+//
+// After a routing protocol reconverges, packets follow the true shortest
+// paths of the surviving topology -- the optimal repair any scheme could
+// achieve, bought at the cost of the convergence outage.  Two forms:
+//
+//  * ReconvergedRouting: the steady state after convergence, used for the
+//    stretch comparison (its stretch CCDF lower-bounds FCP and PR).
+//  * TimedReconvergence: pre-convergence packets behave like StaticSpf
+//    (dropped at the failure); once `complete_convergence()` is called (the
+//    bench schedules it at detection + convergence delay), forwarding flips
+//    to the reconverged tables.  Used by the loss experiment E11.
+#pragma once
+
+#include <memory>
+
+#include "net/forwarding.hpp"
+#include "route/routing_db.hpp"
+
+namespace pr::route {
+
+class ReconvergedRouting final : public net::ForwardingProtocol {
+ public:
+  /// Computes post-convergence tables for the failure set currently installed
+  /// in `net`.  The network's failure set must not change afterwards (build a
+  /// new instance per scenario).
+  explicit ReconvergedRouting(const net::Network& net);
+
+  [[nodiscard]] net::ForwardingDecision forward(const net::Network& net, NodeId at,
+                                                DartId arrived_over,
+                                                net::Packet& packet) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "reconvergence";
+  }
+
+  [[nodiscard]] const RoutingDb& tables() const noexcept { return routes_; }
+
+ private:
+  RoutingDb routes_;
+};
+
+class TimedReconvergence final : public net::ForwardingProtocol {
+ public:
+  /// `before` are the pristine tables; reconverged tables are computed from
+  /// the network's failure set when convergence completes.
+  TimedReconvergence(const net::Network& net, const RoutingDb& before);
+
+  /// Switches every router to the reconverged tables (the bench schedules
+  /// this at failure time + detection + SPF computation + FIB update).
+  void complete_convergence();
+
+  [[nodiscard]] bool converged() const noexcept { return after_ != nullptr; }
+
+  [[nodiscard]] net::ForwardingDecision forward(const net::Network& net, NodeId at,
+                                                DartId arrived_over,
+                                                net::Packet& packet) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "timed-reconvergence";
+  }
+
+ private:
+  const net::Network* net_;
+  const RoutingDb* before_;
+  std::unique_ptr<RoutingDb> after_;
+};
+
+}  // namespace pr::route

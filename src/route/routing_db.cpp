@@ -1,0 +1,50 @@
+#include "route/routing_db.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pr::route {
+
+RoutingDb::RoutingDb(const Graph& g, const graph::EdgeSet* excluded,
+                     DiscriminatorKind kind)
+    : graph_(&g), kind_(kind), trees_(graph::all_shortest_path_trees(g, excluded)) {
+  if (kind_ == DiscriminatorKind::kWeightedCost) {
+    // Weighted discriminators ride in an integer header field; require the
+    // configured weights to be integral so encoding is exact.
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Weight w = g.edge_weight(e);
+      if (w != std::floor(w)) {
+        throw std::invalid_argument(
+            "RoutingDb: weighted discriminators require integer link weights");
+      }
+    }
+  }
+}
+
+std::uint32_t RoutingDb::discriminator(NodeId at, NodeId dest) const {
+  const auto& tree = trees_.at(dest);
+  if (!tree.reachable(at)) {
+    throw std::logic_error("RoutingDb::discriminator: destination unreachable");
+  }
+  if (kind_ == DiscriminatorKind::kHops) return tree.hops[at];
+  return static_cast<std::uint32_t>(std::llround(tree.dist[at]));
+}
+
+std::uint32_t RoutingDb::max_discriminator() const {
+  std::uint32_t best = 0;
+  for (NodeId dest = 0; dest < graph_->node_count(); ++dest) {
+    for (NodeId at = 0; at < graph_->node_count(); ++at) {
+      if (trees_[dest].reachable(at)) {
+        best = std::max(best, discriminator(at, dest));
+      }
+    }
+  }
+  return best;
+}
+
+std::size_t RoutingDb::memory_bytes_per_router() const noexcept {
+  // Per destination: next-hop interface id (4 B) + discriminator column (4 B).
+  return graph_->node_count() * (sizeof(DartId) + sizeof(std::uint32_t));
+}
+
+}  // namespace pr::route

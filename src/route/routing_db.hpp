@@ -1,0 +1,83 @@
+// Destination-indexed routing state: the conventional shortest-path tables
+// every compared protocol starts from, extended with the paper's extra
+// routing-table column (Section 4.3) -- the *distance discriminator*, a
+// strictly increasing function of the links along the shortest path to each
+// destination.  Two candidate functions from the paper are supported: hop
+// count (default, needs ~log2(diameter) header bits) and weighted path cost
+// (ablation A4, needs integer link weights to be header-encodable).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+
+namespace pr::route {
+
+using graph::DartId;
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+using graph::Weight;
+
+enum class DiscriminatorKind : std::uint8_t {
+  kHops,          ///< number of links to the destination (paper's default)
+  kWeightedCost,  ///< sum of link weights (requires integral weights)
+};
+
+/// All-destinations routing database computed over a graph, optionally minus
+/// an excluded (failed) edge set.  Conceptually one routing table per router;
+/// stored destination-major for cache friendliness, with per-router
+/// memory accounting for the E9 bench.
+class RoutingDb {
+ public:
+  RoutingDb(const Graph& g, const graph::EdgeSet* excluded = nullptr,
+            DiscriminatorKind kind = DiscriminatorKind::kHops);
+
+  /// First dart of `at`'s shortest path toward `dest`; kInvalidDart when
+  /// at == dest or dest is unreachable.
+  [[nodiscard]] DartId next_dart(NodeId at, NodeId dest) const {
+    return trees_[dest].next_dart[at];
+  }
+
+  [[nodiscard]] bool reachable(NodeId at, NodeId dest) const {
+    return trees_[dest].reachable(at);
+  }
+
+  [[nodiscard]] Weight cost(NodeId at, NodeId dest) const {
+    return trees_[dest].dist[at];
+  }
+
+  [[nodiscard]] std::uint32_t hops(NodeId at, NodeId dest) const {
+    return trees_[dest].hops[at];
+  }
+
+  /// The distance discriminator from `at` to `dest` under the configured
+  /// kind.  Throws std::logic_error for unreachable destinations (no
+  /// discriminator exists; PR never needs one there).
+  [[nodiscard]] std::uint32_t discriminator(NodeId at, NodeId dest) const;
+
+  /// Largest finite discriminator in the table: sizes the DD header field.
+  [[nodiscard]] std::uint32_t max_discriminator() const;
+
+  [[nodiscard]] DiscriminatorKind discriminator_kind() const noexcept { return kind_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  /// Bytes a single router needs for its routing table: one (next-hop,
+  /// discriminator) pair per destination.  The discriminator column is the
+  /// only PR-specific addition, mirroring the paper's memory argument.
+  [[nodiscard]] std::size_t memory_bytes_per_router() const noexcept;
+
+  /// Underlying tree for a destination (used by analysis code).
+  [[nodiscard]] const graph::ShortestPathTree& tree(NodeId dest) const {
+    return trees_[dest];
+  }
+
+ private:
+  const Graph* graph_;
+  DiscriminatorKind kind_;
+  std::vector<graph::ShortestPathTree> trees_;
+};
+
+}  // namespace pr::route

@@ -1,0 +1,19 @@
+#include "route/static_spf.hpp"
+
+namespace pr::route {
+
+net::ForwardingDecision StaticSpf::forward(const net::Network& net, NodeId at,
+                                           DartId /*arrived_over*/,
+                                           net::Packet& packet) {
+  if (at == packet.destination) return net::ForwardingDecision::deliver();
+  const DartId out = routes_->next_dart(at, packet.destination);
+  if (out == graph::kInvalidDart) {
+    return net::ForwardingDecision::drop(net::DropReason::kNoRoute);
+  }
+  if (!net.dart_usable(out)) {
+    return net::ForwardingDecision::drop(net::DropReason::kNoRoute);
+  }
+  return net::ForwardingDecision::forward(out);
+}
+
+}  // namespace pr::route

@@ -1,0 +1,236 @@
+#include "topo/topologies.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "graph/generators.hpp"
+
+namespace pr::topo {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+/// Adds an edge between two labelled nodes, creating nodes on first use.
+void link(Graph& g, const char* a, const char* b, double w = 1.0) {
+  const auto get = [&g](const char* label) -> NodeId {
+    if (auto v = g.find_node(label)) return *v;
+    return g.add_node(label);
+  };
+  g.add_edge(get(a), get(b), w);
+}
+
+}  // namespace
+
+Graph figure1() {
+  Graph g;
+  for (const char* name : {"A", "B", "C", "D", "E", "F"}) g.add_node(name);
+  // Weights are not printed in the paper; these reproduce its shortest-path
+  // tree to F (A->B->D->E->F, C->E) with strict, tie-free shortest paths,
+  // matching every hop of the worked scenarios in Sections 4.2/4.3.
+  link(g, "A", "B", 1);
+  link(g, "A", "C", 4);
+  link(g, "B", "C", 2);
+  link(g, "B", "D", 1);
+  link(g, "C", "E", 1);
+  link(g, "D", "E", 1);
+  link(g, "D", "F", 4);
+  link(g, "E", "F", 1);
+  return g;
+}
+
+embed::RotationSystem figure1_rotation(const Graph& g) {
+  const auto n = [&g](const char* label) -> NodeId {
+    const auto v = g.find_node(label);
+    if (!v.has_value()) {
+      throw std::invalid_argument("figure1_rotation: expects the figure1() graph");
+    }
+    return *v;
+  };
+  const NodeId a = n("A");
+  const NodeId b = n("B");
+  const NodeId c = n("C");
+  const NodeId d = n("D");
+  const NodeId e = n("E");
+  const NodeId f = n("F");
+  // Derived from the paper's cycles: c1 = F>D>E>F, c2 = E>D>B>C>E,
+  // c3 = B>A>C>B, c4 (outer) = A>B>D>F>E>C>A.
+  return embed::RotationSystem::from_neighbor_orders(
+      g, {/*A*/ {b, c},
+          /*B*/ {a, d, c},
+          /*C*/ {a, b, e},
+          /*D*/ {b, f, e},
+          /*E*/ {c, d, f},
+          /*F*/ {d, e}});
+}
+
+Graph abilene() {
+  Graph g;
+  // The 2004 Abilene research backbone, PoP level, exact.
+  link(g, "Seattle", "Sunnyvale");
+  link(g, "Seattle", "Denver");
+  link(g, "Sunnyvale", "LosAngeles");
+  link(g, "Sunnyvale", "Denver");
+  link(g, "LosAngeles", "Houston");
+  link(g, "Denver", "KansasCity");
+  link(g, "KansasCity", "Houston");
+  link(g, "KansasCity", "Indianapolis");
+  link(g, "Houston", "Atlanta");
+  link(g, "Indianapolis", "Chicago");
+  link(g, "Indianapolis", "Atlanta");
+  link(g, "Chicago", "NewYork");
+  link(g, "Atlanta", "Washington");
+  link(g, "Washington", "NewYork");
+  return g;
+}
+
+Graph geant() {
+  Graph g;
+  // Documented approximation of the 2009 GEANT2 backbone: a western core
+  // (UK/FR/DE/NL/IT/CH/AT/ES) with every NREN at least dual-homed.
+  // Austria
+  link(g, "AT", "DE");
+  link(g, "AT", "IT");
+  link(g, "AT", "CZ");
+  link(g, "AT", "SI");
+  link(g, "AT", "HU");
+  link(g, "AT", "SK");
+  // Benelux
+  link(g, "BE", "NL");
+  link(g, "BE", "FR");
+  link(g, "BE", "LU");
+  link(g, "FR", "LU");
+  link(g, "NL", "DE");
+  link(g, "NL", "UK");
+  // Balkans / south-east
+  link(g, "BG", "RO");
+  link(g, "BG", "GR");
+  link(g, "BG", "HU");
+  link(g, "RO", "HU");
+  link(g, "RO", "TR");
+  link(g, "TR", "GR");
+  link(g, "HR", "SI");
+  link(g, "HR", "HU");
+  // Central
+  link(g, "CH", "DE");
+  link(g, "CH", "IT");
+  link(g, "CH", "FR");
+  link(g, "CZ", "DE");
+  link(g, "CZ", "SK");
+  link(g, "CZ", "PL");
+  link(g, "HU", "SK");
+  link(g, "PL", "DE");
+  link(g, "PL", "LT");
+  // East Mediterranean
+  link(g, "CY", "GR");
+  link(g, "CY", "IL");
+  link(g, "IL", "IT");
+  link(g, "GR", "IT");
+  link(g, "MT", "IT");
+  link(g, "MT", "GR");
+  // Core west
+  link(g, "DE", "FR");
+  link(g, "DE", "DK");
+  link(g, "DE", "RU");
+  link(g, "FR", "UK");
+  link(g, "FR", "ES");
+  link(g, "ES", "PT");
+  link(g, "ES", "IT");
+  link(g, "PT", "UK");
+  link(g, "IE", "UK");
+  link(g, "IE", "FR");
+  // Nordics / Baltics
+  link(g, "DK", "SE");
+  link(g, "DK", "NO");
+  link(g, "DK", "IS");
+  link(g, "IS", "NO");
+  link(g, "NO", "SE");
+  link(g, "SE", "FI");
+  link(g, "FI", "EE");
+  link(g, "FI", "RU");
+  link(g, "EE", "LV");
+  link(g, "LV", "LT");
+  return g;
+}
+
+Graph teleglobe() {
+  Graph g;
+  // Documented approximation of the Rocketfuel AS6453 (Teleglobe) PoP map:
+  // a global transit carrier with North American, European and Asian
+  // clusters joined by transoceanic trunks.
+  // North America
+  link(g, "NewYork", "Newark");
+  link(g, "NewYork", "Ashburn");
+  link(g, "NewYork", "Montreal");
+  link(g, "NewYork", "Chicago");
+  link(g, "Newark", "Ashburn");
+  link(g, "Newark", "Chicago");
+  link(g, "Ashburn", "Atlanta");
+  link(g, "Atlanta", "Miami");
+  link(g, "Atlanta", "Dallas");
+  link(g, "Miami", "Dallas");
+  link(g, "Chicago", "Toronto");
+  link(g, "Chicago", "Dallas");
+  link(g, "Chicago", "Seattle");
+  link(g, "Toronto", "Montreal");
+  link(g, "Dallas", "LosAngeles");
+  link(g, "LosAngeles", "PaloAlto");
+  link(g, "PaloAlto", "Seattle");
+  link(g, "PaloAlto", "Chicago");
+  // Transatlantic
+  link(g, "NewYork", "London");
+  link(g, "Newark", "London");
+  link(g, "Montreal", "Paris");
+  link(g, "Ashburn", "Amsterdam");
+  // Europe
+  link(g, "London", "Paris");
+  link(g, "London", "Amsterdam");
+  link(g, "Paris", "Frankfurt");
+  link(g, "Paris", "Marseille");
+  link(g, "Amsterdam", "Frankfurt");
+  link(g, "Frankfurt", "Marseille");
+  link(g, "Madrid", "Marseille");
+  link(g, "Madrid", "Paris");
+  link(g, "Madrid", "London");
+  // Middle East / Asia via Marseille and the Pacific
+  link(g, "Marseille", "Mumbai");
+  link(g, "Mumbai", "Chennai");
+  link(g, "Chennai", "Singapore");
+  link(g, "Mumbai", "Singapore");
+  link(g, "Singapore", "HongKong");
+  link(g, "HongKong", "Tokyo");
+  link(g, "Tokyo", "Osaka");
+  link(g, "Osaka", "HongKong");
+  // Transpacific
+  link(g, "Tokyo", "Seattle");
+  link(g, "Tokyo", "PaloAlto");
+  link(g, "HongKong", "LosAngeles");
+  // Australia, dual-homed into Asia
+  link(g, "Sydney", "Singapore");
+  link(g, "Sydney", "HongKong");
+  link(g, "Sydney", "LosAngeles");
+  return g;
+}
+
+Graph synthetic_isp(std::size_t core_size, std::size_t access_pops, graph::Rng& rng) {
+  if (core_size < 4) throw std::invalid_argument("synthetic_isp: need core_size >= 4");
+  // Backbone: ring + non-crossing chords (outerplanar, hence planar), chord
+  // budget roughly one per three core nodes.
+  Graph g = graph::random_outerplanar(core_size, core_size / 3, rng);
+  for (NodeId v = 0; v < core_size; ++v) {
+    g.set_node_label(v, "core" + std::to_string(v));
+  }
+  // Access PoPs: dual-homed to two ADJACENT core nodes, which preserves
+  // planarity (the new vertex sits inside a face bordered by that ring edge).
+  for (std::size_t p = 0; p < access_pops; ++p) {
+    const NodeId pop = g.add_node("pop" + std::to_string(p));
+    const auto a = static_cast<NodeId>(rng.below(core_size));
+    const auto b = static_cast<NodeId>((a + 1) % core_size);
+    g.add_edge(pop, a);
+    g.add_edge(pop, b);
+  }
+  return g;
+}
+
+}  // namespace pr::topo

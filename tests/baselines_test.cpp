@@ -1,0 +1,222 @@
+// Unit tests for the comparison protocols: StaticSpf, Reconvergence, FCP, LFA.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "net/failure_model.hpp"
+#include "route/fcp.hpp"
+#include "route/lfa.hpp"
+#include "route/reconvergence.hpp"
+#include "route/static_spf.hpp"
+#include "topo/topologies.hpp"
+
+namespace pr::route {
+namespace {
+
+using graph::NodeId;
+
+TEST(StaticSpf, DeliversOnHealthyNetwork) {
+  const auto g = topo::abilene();
+  const RoutingDb db(g);
+  StaticSpf spf(db);
+  net::Network network(g);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      const auto trace = net::route_packet(network, spf, s, t);
+      EXPECT_TRUE(trace.delivered());
+      EXPECT_DOUBLE_EQ(trace.cost, db.cost(s, t));
+    }
+  }
+}
+
+TEST(StaticSpf, DropsAtFailure) {
+  const auto g = graph::ring(4);
+  const RoutingDb db(g);
+  StaticSpf spf(db);
+  net::Network network(g);
+  network.fail_link(*g.find_edge(0, 1));
+  const auto trace = net::route_packet(network, spf, 0, 1);
+  EXPECT_FALSE(trace.delivered());
+  EXPECT_EQ(trace.drop_reason, net::DropReason::kNoRoute);
+}
+
+TEST(Reconverged, FindsOptimalDetour) {
+  const auto g = graph::ring(5);
+  net::Network network(g);
+  network.fail_link(*g.find_edge(0, 1));
+  ReconvergedRouting proto(network);
+  const auto trace = net::route_packet(network, proto, 0, 1);
+  ASSERT_TRUE(trace.delivered());
+  EXPECT_EQ(trace.hops, 4U);  // the only remaining path, which is optimal
+}
+
+TEST(Reconverged, DropsWhenPartitioned) {
+  const auto g = graph::ring(4);  // 0-1-2-3-0
+  net::Network network(g);
+  network.fail_link(*g.find_edge(0, 1));
+  network.fail_link(*g.find_edge(2, 3));
+  ReconvergedRouting proto(network);
+  // The two cuts leave components {0,3} and {1,2}.
+  const auto across = net::route_packet(network, proto, 0, 2);
+  EXPECT_FALSE(across.delivered());
+  const auto within = net::route_packet(network, proto, 0, 3);
+  EXPECT_TRUE(within.delivered());
+}
+
+TEST(Reconverged, StretchIsMinimalAmongDeliveries) {
+  // Against every single failure on Abilene, the reconverged path cost must
+  // equal the true post-failure shortest-path cost.
+  const auto g = topo::abilene();
+  for (const auto& failures : net::all_single_failures(g)) {
+    net::Network network(g);
+    for (auto e : failures.elements()) network.fail_link(e);
+    ReconvergedRouting proto(network);
+    const RoutingDb truth(g, &failures);
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      for (NodeId t = 0; t < g.node_count(); ++t) {
+        if (s == t || !truth.reachable(s, t)) continue;
+        const auto trace = net::route_packet(network, proto, s, t);
+        ASSERT_TRUE(trace.delivered());
+        EXPECT_DOUBLE_EQ(trace.cost, truth.cost(s, t));
+      }
+    }
+  }
+}
+
+TEST(TimedReconvergence, FlipsBehaviourAtConvergence) {
+  const auto g = graph::ring(5);
+  const RoutingDb before(g);
+  net::Network network(g);
+  network.fail_link(*g.find_edge(0, 1));
+  TimedReconvergence proto(network, before);
+
+  EXPECT_FALSE(proto.converged());
+  const auto pre = net::route_packet(network, proto, 0, 1);
+  EXPECT_FALSE(pre.delivered());
+  EXPECT_EQ(pre.drop_reason, net::DropReason::kPolicy);
+
+  proto.complete_convergence();
+  EXPECT_TRUE(proto.converged());
+  const auto post = net::route_packet(network, proto, 0, 1);
+  ASSERT_TRUE(post.delivered());
+  EXPECT_EQ(post.hops, 4U);
+}
+
+TEST(Fcp, DeliversAroundSingleFailure) {
+  const auto g = graph::ring(5);
+  FcpRouting fcp(g);
+  net::Network network(g);
+  network.fail_link(*g.find_edge(0, 1));
+  const auto trace = net::route_packet(network, fcp, 0, 1);
+  ASSERT_TRUE(trace.delivered());
+  EXPECT_EQ(trace.hops, 4U);
+  // The packet learned exactly the one failure it met.
+  ASSERT_EQ(trace.final_packet.fcp_failures.size(), 1U);
+  EXPECT_EQ(trace.final_packet.fcp_failures[0], *g.find_edge(0, 1));
+}
+
+TEST(Fcp, DeliversUnderAnyConnectedMultiFailure) {
+  graph::Rng rng(33);
+  const auto g = graph::random_two_edge_connected(10, 6, rng);
+  const auto scenarios = net::sample_connected_failures(g, 4, 30, rng);
+  FcpRouting fcp(g);
+  for (const auto& failures : scenarios) {
+    net::Network network(g);
+    for (auto e : failures.elements()) network.fail_link(e);
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      for (NodeId t = 0; t < g.node_count(); ++t) {
+        if (s == t) continue;
+        const auto trace = net::route_packet(network, fcp, s, t);
+        EXPECT_TRUE(trace.delivered()) << "s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(Fcp, DropsWhenDestinationUnreachable) {
+  const auto g = graph::ring(4);
+  FcpRouting fcp(g);
+  net::Network network(g);
+  network.fail_link(*g.find_edge(0, 1));
+  network.fail_link(*g.find_edge(1, 2));
+  const auto trace = net::route_packet(network, fcp, 3, 1);
+  EXPECT_FALSE(trace.delivered());
+  EXPECT_EQ(trace.drop_reason, net::DropReason::kNoRoute);
+}
+
+TEST(Fcp, MemoisesSpfComputations) {
+  const auto g = topo::abilene();
+  FcpRouting fcp(g);
+  net::Network network(g);
+  network.fail_link(0);
+  (void)net::route_packet(network, fcp, 1, 5);
+  const auto first_round = fcp.spf_computations();
+  (void)net::route_packet(network, fcp, 1, 5);  // same flow: all cache hits
+  EXPECT_EQ(fcp.spf_computations(), first_round);
+  EXPECT_GT(fcp.cached_tables(), 0U);
+}
+
+TEST(Lfa, CoverageIsPartialOnAbilene) {
+  const auto g = topo::abilene();
+  const RoutingDb db(g);
+  LfaRouting lfa(db);
+  const double cov = lfa.alternate_coverage();
+  // Classic result: sparse backbones have real but incomplete LFA coverage.
+  EXPECT_GT(cov, 0.2);
+  EXPECT_LT(cov, 1.0);
+}
+
+TEST(Lfa, UsesAlternateWhenPrimaryFails) {
+  // Triangle: every node has an LFA for every destination.
+  const auto g = graph::complete(3);
+  const RoutingDb db(g);
+  LfaRouting lfa(db);
+  EXPECT_DOUBLE_EQ(lfa.alternate_coverage(), 1.0);
+  net::Network network(g);
+  network.fail_link(*g.find_edge(0, 1));
+  const auto trace = net::route_packet(network, lfa, 0, 1);
+  ASSERT_TRUE(trace.delivered());
+  EXPECT_EQ(trace.hops, 2U);  // 0 -> 2 -> 1
+}
+
+TEST(Lfa, DropsWhenNoAlternateExists) {
+  // Square ring, adjacent destination: the detour via the far side is never
+  // strictly loop-free (dist(3,1) = 2 = dist(3,0) + dist(0,1)), so the pair
+  // (0,1) is unprotected and its packet is lost.
+  const auto g = graph::ring(4);
+  const RoutingDb db(g);
+  LfaRouting lfa(db);
+  EXPECT_EQ(lfa.alternate(0, 1), graph::kInvalidDart);
+  net::Network network(g);
+  network.fail_link(*g.find_edge(0, 1));
+  const auto trace = net::route_packet(network, lfa, 0, 1);
+  EXPECT_FALSE(trace.delivered());
+  // Coverage is partial, not zero: antipodal pairs do have alternates.
+  EXPECT_GT(lfa.alternate_coverage(), 0.0);
+  EXPECT_LT(lfa.alternate_coverage(), 1.0);
+}
+
+TEST(Lfa, AlternateNeverLoops) {
+  // Property: after one LFA deflection, plain SPF from the alternate must
+  // reach the destination without meeting the failed link again.
+  const auto g = topo::abilene();
+  const RoutingDb db(g);
+  LfaRouting lfa(db);
+  for (const auto& failures : net::all_single_failures(g)) {
+    net::Network network(g);
+    for (auto e : failures.elements()) network.fail_link(e);
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      for (NodeId t = 0; t < g.node_count(); ++t) {
+        if (s == t) continue;
+        const auto trace = net::route_packet(network, lfa, s, t);
+        if (trace.delivered()) {
+          EXPECT_LE(trace.hops, g.node_count()) << "LFA path visited a node twice";
+        } else {
+          EXPECT_EQ(trace.drop_reason, net::DropReason::kNoRoute);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pr::route

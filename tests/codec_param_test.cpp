@@ -1,0 +1,142 @@
+// Parameterized sweeps of the DSCP pool-2 header codec over every legal
+// layout, and of the DMP planarity test over structured graph families.
+#include <gtest/gtest.h>
+
+#include "embed/faces.hpp"
+#include "embed/planar.hpp"
+#include "graph/generators.hpp"
+#include "net/header_codec.hpp"
+
+namespace pr {
+namespace {
+
+// ---- codec sweep over all pool-2 layouts ------------------------------------
+
+class CodecLayoutSuite : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CodecLayoutSuite, EveryValueRoundTrips) {
+  const net::PrHeaderLayout layout{GetParam()};
+  ASSERT_TRUE(layout.fits_dscp_pool2());
+  for (unsigned pr_bit = 0; pr_bit <= 1; ++pr_bit) {
+    for (std::uint32_t dd = 0; dd <= layout.max_encodable_dd(); ++dd) {
+      const auto code = net::encode_dscp(layout, pr_bit != 0, dd);
+      EXPECT_EQ(code & 0b11u, 0b11u);
+      EXPECT_LE(code, 0b111111u);
+      const auto decoded = net::decode_dscp(layout, code);
+      EXPECT_EQ(decoded.pr_bit, pr_bit != 0);
+      EXPECT_EQ(decoded.dd, dd);
+    }
+  }
+}
+
+TEST_P(CodecLayoutSuite, DistinctInputsGetDistinctCodepoints) {
+  const net::PrHeaderLayout layout{GetParam()};
+  std::vector<std::uint8_t> seen;
+  for (unsigned pr_bit = 0; pr_bit <= 1; ++pr_bit) {
+    for (std::uint32_t dd = 0; dd <= layout.max_encodable_dd(); ++dd) {
+      seen.push_back(net::encode_dscp(layout, pr_bit != 0, dd));
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST_P(CodecLayoutSuite, OverflowRejected) {
+  const net::PrHeaderLayout layout{GetParam()};
+  EXPECT_THROW((void)net::encode_dscp(layout, false, layout.max_encodable_dd() + 1),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(DdBits, CodecLayoutSuite, ::testing::Values(0U, 1U, 2U, 3U));
+
+// ---- DMP planarity over structured families ---------------------------------
+
+class OuterplanarSuite : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OuterplanarSuite, AlwaysPlanarWithValidEmbedding) {
+  graph::Rng rng(GetParam());
+  const std::size_t n = 10 + rng.below(90);
+  const auto g = graph::random_outerplanar(n, n / 2, rng);
+  const auto result = embed::planar_embedding(g);
+  ASSERT_TRUE(result.planar) << "outerplanar graphs are planar by construction";
+  const auto faces = embed::trace_faces(*result.rotation);
+  EXPECT_NO_THROW(embed::check_face_set(*result.rotation, faces));
+  EXPECT_EQ(embed::euler_genus(g, faces), 0);
+  EXPECT_TRUE(embed::pr_safe(g, faces));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OuterplanarSuite, ::testing::Range<std::uint64_t>(0, 12));
+
+namespace {
+
+/// Subdivides every edge of `g` `cuts` times (inserting degree-2 nodes);
+/// subdivision preserves (non-)planarity.
+graph::Graph subdivide(const graph::Graph& g, std::size_t cuts) {
+  graph::Graph out(g.node_count());
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    graph::NodeId prev = g.edge_u(e);
+    for (std::size_t i = 0; i < cuts; ++i) {
+      const graph::NodeId mid = out.add_node();
+      out.add_edge(prev, mid);
+      prev = mid;
+    }
+    out.add_edge(prev, g.edge_v(e));
+  }
+  return out;
+}
+
+}  // namespace
+
+class SubdivisionSuite : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SubdivisionSuite, KuratowskiSubdivisionsStayNonPlanar) {
+  const std::size_t cuts = GetParam();
+  EXPECT_FALSE(embed::is_planar(subdivide(graph::k5(), cuts)));
+  EXPECT_FALSE(embed::is_planar(subdivide(graph::k33(), cuts)));
+}
+
+TEST_P(SubdivisionSuite, PlanarSubdivisionsStayPlanar) {
+  const std::size_t cuts = GetParam();
+  EXPECT_TRUE(embed::is_planar(subdivide(graph::complete(4), cuts)));
+  EXPECT_TRUE(embed::is_planar(subdivide(graph::grid(3, 3), cuts)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, SubdivisionSuite, ::testing::Values(1U, 2U, 5U));
+
+TEST(PlanarFamilies, WheelsArePlanarAndMaximal) {
+  // Wheel W_n: a hub joined to every node of an n-ring.  Planar for all n;
+  // the embedding has exactly n + 1 faces (n triangles + the outer face).
+  for (std::size_t n = 3; n <= 12; ++n) {
+    graph::Graph g = graph::ring(n);
+    const auto hub = g.add_node();
+    for (graph::NodeId v = 0; v < n; ++v) g.add_edge(hub, v);
+    const auto result = embed::planar_embedding(g);
+    ASSERT_TRUE(result.planar) << "W_" << n;
+    const auto faces = embed::trace_faces(*result.rotation);
+    EXPECT_EQ(faces.face_count(), n + 1) << "W_" << n;
+  }
+}
+
+TEST(PlanarFamilies, NestedRingsArePlanar) {
+  // Pruefer-style torture: k concentric rings, consecutive rings joined by
+  // spokes (a planar "onion").
+  const std::size_t rings = 5;
+  const std::size_t width = 6;
+  graph::Graph g(rings * width);
+  for (std::size_t r = 0; r < rings; ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      const auto id = static_cast<graph::NodeId>(r * width + c);
+      const auto right = static_cast<graph::NodeId>(r * width + (c + 1) % width);
+      g.add_edge(id, right);
+      if (r + 1 < rings) {
+        g.add_edge(id, static_cast<graph::NodeId>((r + 1) * width + c));
+      }
+    }
+  }
+  const auto result = embed::planar_embedding(g);
+  ASSERT_TRUE(result.planar);
+  EXPECT_EQ(embed::genus_of(*result.rotation), 0);
+}
+
+}  // namespace
+}  // namespace pr

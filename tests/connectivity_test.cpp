@@ -1,0 +1,182 @@
+// Unit tests for components, bridges, articulation points and blocks.
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+
+namespace pr::graph {
+namespace {
+
+TEST(Components, SingleComponentRing) {
+  const Graph g = ring(5);
+  const auto comp = connected_components(g);
+  EXPECT_TRUE(std::all_of(comp.begin(), comp.end(),
+                          [](std::uint32_t c) { return c == 0; }));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, TwoIslands) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(same_component(g, 0, 1));
+  EXPECT_FALSE(same_component(g, 1, 2));
+}
+
+TEST(Components, ExclusionSplitsRing) {
+  const Graph g = ring(4);
+  EdgeSet down(g.edge_count());
+  down.insert(*g.find_edge(0, 1));
+  EXPECT_TRUE(is_connected(g, &down));  // one failure: still a path
+  down.insert(*g.find_edge(2, 3));
+  EXPECT_FALSE(is_connected(g, &down));  // opposite failures split the ring
+  EXPECT_TRUE(same_component(g, 1, 2, &down));
+  EXPECT_FALSE(same_component(g, 0, 2, &down));
+}
+
+TEST(Components, EmptyAndSingleton) {
+  EXPECT_TRUE(is_connected(Graph{}));
+  EXPECT_TRUE(is_connected(Graph{1}));
+  EXPECT_FALSE(is_connected(Graph{2}));
+}
+
+TEST(Bridges, RingHasNone) { EXPECT_TRUE(bridges(ring(5)).empty()); }
+
+TEST(Bridges, LineIsAllBridges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(bridges(g).size(), 3U);
+}
+
+TEST(Bridges, Barbell) {
+  // Two triangles joined by one edge: exactly that edge is a bridge.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  const EdgeId middle = g.add_edge(2, 3);
+  const auto b = bridges(g);
+  ASSERT_EQ(b.size(), 1U);
+  EXPECT_EQ(b[0], middle);
+}
+
+TEST(Bridges, ParallelPairIsNotABridge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);       // parallel
+  const EdgeId lone = g.add_edge(1, 2);
+  const auto b = bridges(g);
+  ASSERT_EQ(b.size(), 1U);
+  EXPECT_EQ(b[0], lone);
+}
+
+TEST(Articulation, RingHasNone) { EXPECT_TRUE(articulation_points(ring(5)).empty()); }
+
+TEST(Articulation, BarbellCutVertices) {
+  Graph g(5);
+  // Triangles 0-1-2 and 2-3-4 share vertex 2.
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  const auto cuts = articulation_points(g);
+  ASSERT_EQ(cuts.size(), 1U);
+  EXPECT_EQ(cuts[0], 2U);
+}
+
+TEST(Articulation, LineInteriorNodes) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto cuts = articulation_points(g);
+  ASSERT_EQ(cuts.size(), 2U);
+  EXPECT_EQ(cuts[0], 1U);
+  EXPECT_EQ(cuts[1], 2U);
+}
+
+TEST(Articulation, StarCenter) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const auto cuts = articulation_points(g);
+  ASSERT_EQ(cuts.size(), 1U);
+  EXPECT_EQ(cuts[0], 0U);
+}
+
+TEST(TwoEdgeConnected, Classification) {
+  EXPECT_TRUE(is_two_edge_connected(ring(4)));
+  EXPECT_TRUE(is_two_edge_connected(complete(4)));
+  EXPECT_TRUE(is_two_edge_connected(torus(3, 3)));
+  Graph line(3);
+  line.add_edge(0, 1);
+  line.add_edge(1, 2);
+  EXPECT_FALSE(is_two_edge_connected(line));
+  EXPECT_FALSE(is_two_edge_connected(Graph{3}));  // disconnected
+}
+
+TEST(Biconnected, Classification) {
+  EXPECT_TRUE(is_biconnected(ring(4)));
+  Graph g(5);  // two triangles sharing node 2 are 2-edge-connected but not 2-connected
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  EXPECT_TRUE(is_two_edge_connected(g));
+  EXPECT_FALSE(is_biconnected(g));
+}
+
+TEST(Blocks, BarbellSplitsIntoThree) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  g.add_edge(2, 3);  // bridge forms its own block
+  const auto blocks = biconnected_components(g);
+  ASSERT_EQ(blocks.size(), 3U);
+  std::size_t total = 0;
+  for (const auto& b : blocks) total += b.size();
+  EXPECT_EQ(total, g.edge_count());  // blocks partition the edges
+}
+
+TEST(Blocks, BiconnectedGraphIsOneBlock) {
+  const Graph g = complete(5);
+  const auto blocks = biconnected_components(g);
+  ASSERT_EQ(blocks.size(), 1U);
+  EXPECT_EQ(blocks[0].size(), g.edge_count());
+}
+
+TEST(Blocks, EveryEdgeInExactlyOneBlock) {
+  Rng rng(42);
+  const Graph g = random_two_edge_connected(20, 10, rng);
+  const auto blocks = biconnected_components(g);
+  std::vector<int> seen(g.edge_count(), 0);
+  for (const auto& b : blocks) {
+    for (EdgeId e : b) ++seen[e];
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) EXPECT_EQ(seen[e], 1) << "edge " << e;
+}
+
+}  // namespace
+}  // namespace pr::graph

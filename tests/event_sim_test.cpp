@@ -1,0 +1,212 @@
+// Unit tests for the discrete-event engine, packet flights, and failure
+// processes (including the Section-7 flap damper).
+#include "net/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "net/failure_model.hpp"
+#include "route/routing_db.hpp"
+#include "route/static_spf.hpp"
+
+namespace pr::net {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_processed(), 3U);
+}
+
+TEST(Simulator, EqualTimesRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsMayScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] {
+    ++fired;
+    sim.after(1.0, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, RunUntilLimitStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(5.0, [&] { ++fired; });
+  sim.run(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.at(2.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(LaunchPacket, DeliveryTimingAccountsForDelays) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Network net(g);
+  net.set_processing_delay(0.0);
+  net.set_link_delay(0, 0.5);
+  net.set_link_delay(1, 0.25);
+  const route::RoutingDb routes(g);
+  route::StaticSpf spf(routes);
+
+  Simulator sim;
+  bool done = false;
+  SimTime arrival = 0;
+  launch_packet(sim, net, spf, 0, 2, /*start=*/1.0, [&](const PathTrace& trace) {
+    done = true;
+    arrival = sim.now();
+    EXPECT_TRUE(trace.delivered());
+    EXPECT_EQ(trace.hops, 2U);
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_DOUBLE_EQ(arrival, 1.0 + 0.5 + 0.25);
+}
+
+TEST(LaunchPacket, MidFlightFailureDropsSpfPacket) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Network net(g);
+  const route::RoutingDb routes(g);
+  route::StaticSpf spf(routes);
+
+  Simulator sim;
+  // Fail the second link while the packet is crossing the first one.
+  sim.at(1.0005, [&] { net.fail_link(1); });
+  bool done = false;
+  launch_packet(sim, net, spf, 0, 2, 1.0, [&](const PathTrace& trace) {
+    done = true;
+    EXPECT_FALSE(trace.delivered());
+    EXPECT_EQ(trace.drop_reason, DropReason::kNoRoute);
+  });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(FailureScenarios, AllSingleFailuresEnumerated) {
+  const auto g = graph::ring(5);
+  const auto scenarios = all_single_failures(g);
+  ASSERT_EQ(scenarios.size(), g.edge_count());
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(scenarios[e].size(), 1U);
+    EXPECT_TRUE(scenarios[e].contains(e));
+  }
+}
+
+TEST(FailureScenarios, SampledConnectedFailuresKeepConnectivity) {
+  graph::Rng rng(9);
+  const auto g = graph::random_two_edge_connected(10, 8, rng);
+  const auto scenarios = sample_connected_failures(g, 3, 25, rng);
+  ASSERT_EQ(scenarios.size(), 25U);
+  for (const auto& s : scenarios) {
+    EXPECT_EQ(s.size(), 3U);
+    EXPECT_TRUE(graph::is_connected(g, &s));
+  }
+}
+
+TEST(FailureScenarios, ImpossibleRequestThrows) {
+  graph::Rng rng(10);
+  const auto g = graph::ring(4);  // removing any 2 ring edges disconnects
+  EXPECT_THROW((void)sample_connected_failures(g, 2, 1, rng, 200),
+               std::invalid_argument);
+  EXPECT_THROW((void)sample_connected_failures(g, 99, 1, rng), std::invalid_argument);
+}
+
+TEST(FailureScenarios, EnumerateCountsMatchBinomials) {
+  const auto g = graph::ring(5);  // 5 edges
+  EXPECT_EQ(enumerate_failures(g, 0).size(), 1U);
+  EXPECT_EQ(enumerate_failures(g, 1).size(), 5U);
+  EXPECT_EQ(enumerate_failures(g, 2).size(), 10U);
+  EXPECT_EQ(enumerate_failures(g, 3).size(), 10U);
+  EXPECT_EQ(enumerate_failures(g, 5).size(), 1U);
+  EXPECT_EQ(enumerate_failures(g, 6).size(), 0U);
+}
+
+TEST(FailureScenarios, EnumerateSetsAreDistinctAndSized) {
+  const auto g = graph::complete(5);  // 10 edges
+  const auto all = enumerate_failures(g, 2);
+  ASSERT_EQ(all.size(), 45U);
+  for (const auto& s : all) EXPECT_EQ(s.size(), 2U);
+}
+
+TEST(FlapDamper, RestoreDelayedByHoldDown) {
+  const auto g = graph::ring(3);
+  Network net(g);
+  Simulator sim;
+  FlapDamper damper(sim, net, /*hold_down=*/5.0);
+
+  sim.at(1.0, [&] { damper.fail(0); });
+  sim.at(2.0, [&] { damper.request_restore(0); });
+  sim.at(6.0, [&] { EXPECT_FALSE(net.link_up(0)); });  // still inside hold-down
+  sim.run();
+  EXPECT_TRUE(net.link_up(0));  // restored at t=7
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+}
+
+TEST(FlapDamper, FlappingSuppressesRestore) {
+  const auto g = graph::ring(3);
+  Network net(g);
+  Simulator sim;
+  FlapDamper damper(sim, net, 5.0);
+
+  sim.at(1.0, [&] { damper.fail(0); });
+  sim.at(2.0, [&] { damper.request_restore(0); });
+  sim.at(3.0, [&] { damper.fail(0); });  // flap: cancels the pending restore
+  sim.run(100.0);
+  EXPECT_FALSE(net.link_up(0));  // never restored
+}
+
+TEST(FlapDamper, SecondRestoreWindowWins) {
+  const auto g = graph::ring(3);
+  Network net(g);
+  Simulator sim;
+  FlapDamper damper(sim, net, 5.0);
+
+  sim.at(1.0, [&] { damper.fail(0); });
+  sim.at(2.0, [&] { damper.request_restore(0); });
+  sim.at(3.0, [&] { damper.fail(0); });
+  sim.at(4.0, [&] { damper.request_restore(0); });
+  sim.run();
+  EXPECT_TRUE(net.link_up(0));
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);  // 4.0 + hold_down
+}
+
+TEST(FlapDamper, NegativeHoldDownRejected) {
+  const auto g = graph::ring(3);
+  Network net(g);
+  Simulator sim;
+  EXPECT_THROW(FlapDamper(sim, net, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pr::net

@@ -1,0 +1,110 @@
+// Exact minimum-genus enumeration: ground truth for the heuristic search,
+// plus DOT export and trace rendering utilities.
+#include <gtest/gtest.h>
+
+#include "embed/genus_opt.hpp"
+#include "graph/generators.hpp"
+#include "graph/graphio.hpp"
+#include "net/forwarding.hpp"
+#include "route/routing_db.hpp"
+#include "route/static_spf.hpp"
+#include "topo/topologies.hpp"
+
+namespace pr {
+namespace {
+
+TEST(ExactGenus, K4IsPlanar) {
+  const auto result = embed::exact_minimum_genus(graph::complete(4));
+  EXPECT_EQ(result.genus, 0);
+  EXPECT_EQ(result.rotations_tested, 16U);  // (3-1)!^4
+  EXPECT_GT(result.minimum_pr_safe, 0U);
+}
+
+TEST(ExactGenus, K5IsExactlyOne) {
+  const auto result = embed::exact_minimum_genus(graph::k5());
+  EXPECT_EQ(result.genus, 1);
+  EXPECT_EQ(result.rotations_tested, 7776U);  // (4-1)!^5
+  EXPECT_GT(result.minimum_count, 0U);
+}
+
+TEST(ExactGenus, K33IsExactlyOne) {
+  const auto result = embed::exact_minimum_genus(graph::k33());
+  EXPECT_EQ(result.genus, 1);
+  EXPECT_EQ(result.rotations_tested, 64U);  // (3-1)!^6
+}
+
+TEST(ExactGenus, PetersenIsExactlyOne) {
+  const auto result = embed::exact_minimum_genus(graph::petersen());
+  EXPECT_EQ(result.genus, 1);
+  EXPECT_EQ(result.rotations_tested, 1024U);  // (3-1)!^10
+}
+
+TEST(ExactGenus, Figure1IsPlanarWithSafeMinima) {
+  const auto g = topo::figure1();
+  const auto result = embed::exact_minimum_genus(g);
+  EXPECT_EQ(result.genus, 0);
+  // Planar embeddings of 2-edge-connected graphs are always PR-safe.
+  EXPECT_EQ(result.minimum_pr_safe, result.minimum_count);
+}
+
+TEST(ExactGenus, HeuristicMatchesExactOnSmallGraphs) {
+  // torus(3,3) is excluded: its degree-4 nodes give a 6^9 ~ 10M rotation
+  // space, beyond what a unit test should exhaust.
+  for (const auto& g : {graph::complete(4), graph::k33(), graph::petersen()}) {
+    const auto exact = embed::exact_minimum_genus(g, 5000000);
+    const auto heuristic = embed::minimize_genus(g);
+    EXPECT_EQ(heuristic.genus, exact.genus);
+  }
+}
+
+TEST(ExactGenus, RefusesHugeSpaces) {
+  EXPECT_THROW((void)embed::exact_minimum_genus(graph::complete(7), 1000),
+               std::invalid_argument);
+}
+
+TEST(ExactGenus, WitnessRotationIsValid) {
+  // The witness rotation references the input graph, which must stay alive.
+  const auto g = graph::petersen();
+  const auto result = embed::exact_minimum_genus(g);
+  const auto faces = embed::trace_faces(result.rotation);
+  EXPECT_NO_THROW(embed::check_face_set(result.rotation, faces));
+  EXPECT_EQ(embed::euler_genus(g, faces), result.genus);
+}
+
+TEST(ToDot, RendersNodesEdgesAndFailures) {
+  auto g = topo::figure1();
+  graph::EdgeSet failed(g.edge_count());
+  failed.insert(*g.find_edge(*g.find_node("D"), *g.find_node("E")));
+  const auto dot = graph::to_dot(g, &failed);
+  EXPECT_NE(dot.find("graph network {"), std::string::npos);
+  EXPECT_NE(dot.find("\"A\" -- \"B\""), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"4\""), std::string::npos);  // weight-4 links
+}
+
+TEST(ToDot, NoFailureDecorationWhenHealthy) {
+  const auto g = graph::ring(3);
+  const auto dot = graph::to_dot(g);
+  EXPECT_EQ(dot.find("color=red"), std::string::npos);
+}
+
+TEST(TraceToString, DeliveredAndDropped) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const route::RoutingDb db(g);
+  route::StaticSpf spf(db);
+  net::Network network(g);
+  const auto ok = net::route_packet(network, spf, 0, 2);
+  const auto text = net::trace_to_string(g, ok);
+  EXPECT_NE(text.find("n0 > n1 > n2"), std::string::npos);
+  EXPECT_NE(text.find("delivered"), std::string::npos);
+
+  network.fail_link(1);
+  const auto bad = net::route_packet(network, spf, 0, 2);
+  EXPECT_NE(net::trace_to_string(g, bad).find("DROPPED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pr

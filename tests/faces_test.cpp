@@ -1,0 +1,145 @@
+// Unit + property tests for face tracing and Euler genus.
+#include "embed/faces.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace pr::embed {
+namespace {
+
+using graph::Rng;
+
+TEST(Faces, RingHasTwoFaces) {
+  const Graph g = graph::ring(6);
+  const auto rot = RotationSystem::identity(g);
+  const auto faces = trace_faces(rot);
+  EXPECT_EQ(faces.face_count(), 2U);
+  EXPECT_EQ(euler_genus(g, faces), 0);
+  for (const auto& f : faces.faces) EXPECT_EQ(f.size(), 6U);
+}
+
+TEST(Faces, SingleEdgeOneFace) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto rot = RotationSystem::identity(g);
+  const auto faces = trace_faces(rot);
+  ASSERT_EQ(faces.face_count(), 1U);
+  EXPECT_EQ(faces.faces[0].size(), 2U);  // there and back
+  EXPECT_EQ(euler_genus(g, faces), 0);
+}
+
+TEST(Faces, TreesAlwaysGenusZero) {
+  // Any rotation system of a tree embeds on the sphere with exactly one face.
+  Rng rng(5);
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(1, 4);
+  g.add_edge(2, 5);
+  g.add_edge(2, 6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto rot = RotationSystem::random(g, rng);
+    const auto faces = trace_faces(rot);
+    EXPECT_EQ(faces.face_count(), 1U);
+    EXPECT_EQ(euler_genus(g, faces), 0);
+  }
+}
+
+TEST(Faces, CanonicalTorusRotationHasGenusOne) {
+  // 3x3 wrapped grid with the up/right/down/left rotation at every node is the
+  // canonical genus-1 embedding whose faces are the 9 unit squares.
+  const std::size_t rows = 3;
+  const std::size_t cols = 3;
+  const Graph g = graph::torus(rows, cols);
+  const auto id = [&](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>((r % rows) * cols + (c % cols));
+  };
+  std::vector<std::vector<NodeId>> neighbor_orders(g.node_count());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      neighbor_orders[id(r, c)] = {id(r + rows - 1, c), id(r, c + 1), id(r + 1, c),
+                                   id(r, c + cols - 1)};
+    }
+  }
+  const auto rot = RotationSystem::from_neighbor_orders(g, neighbor_orders);
+  const auto faces = trace_faces(rot);
+  EXPECT_EQ(faces.face_count(), 9U);
+  EXPECT_EQ(euler_genus(g, faces), 1);
+  for (const auto& f : faces.faces) EXPECT_EQ(f.size(), 4U);
+}
+
+TEST(Faces, EveryDartOnExactlyOneFace) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::random_two_edge_connected(4 + trial, 1 + trial % 7, rng);
+    const auto rot = RotationSystem::random(g, rng);
+    const auto faces = trace_faces(rot);
+    EXPECT_NO_THROW(check_face_set(rot, faces)) << "trial " << trial;
+  }
+}
+
+TEST(Faces, EveryEdgeOnAtMostTwoCycles) {
+  // The cellular-cycle property the paper relies on: each link belongs to two
+  // directed cycles (possibly the same face traversed twice).
+  Rng rng(18);
+  const Graph g = graph::random_two_edge_connected(12, 8, rng);
+  const auto rot = RotationSystem::random(g, rng);
+  const auto faces = trace_faces(rot);
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const DartId d = graph::make_dart(e, 0);
+    const auto main = faces.main_cycle_of(d);
+    const auto comp = faces.complementary_cycle_of(d);
+    EXPECT_LT(main, faces.face_count());
+    EXPECT_LT(comp, faces.face_count());
+    EXPECT_EQ(comp, faces.main_cycle_of(graph::reverse(d)));
+  }
+}
+
+TEST(Faces, GenusNeverNegativeUnderRandomRotations) {
+  Rng rng(19);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = graph::erdos_renyi(8, 0.4, rng);
+    const auto rot = RotationSystem::random(g, rng);
+    EXPECT_GE(genus_of(rot), 0) << "trial " << trial;
+  }
+}
+
+TEST(Faces, IsolatedNodesCountedInGenus) {
+  Graph g(3);
+  g.add_edge(0, 1);  // node 2 isolated
+  const auto rot = RotationSystem::identity(g);
+  EXPECT_EQ(genus_of(rot), 0);
+}
+
+TEST(Faces, AverageFaceLength) {
+  const Graph g = graph::ring(5);
+  const auto faces = trace_faces(RotationSystem::identity(g));
+  EXPECT_DOUBLE_EQ(faces.average_face_length(), 5.0);
+}
+
+TEST(Faces, FaceToString) {
+  Graph g;
+  g.add_node("A");
+  g.add_node("B");
+  g.add_node("C");
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const auto rot = RotationSystem::identity(g);
+  const auto faces = trace_faces(rot);
+  bool found_triangle = false;
+  for (const auto& f : faces.faces) {
+    const auto s = face_to_string(g, f);
+    EXPECT_FALSE(s.empty());
+    if (s == "A->B->C->A" || s == "A->C->B->A" || s == "B->C->A->B" ||
+        s == "B->A->C->B" || s == "C->A->B->C" || s == "C->B->A->C") {
+      found_triangle = true;
+    }
+  }
+  EXPECT_TRUE(found_triangle);
+}
+
+}  // namespace
+}  // namespace pr::embed

@@ -1,0 +1,103 @@
+// Unit + property tests for the synthetic graph generators.
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+
+namespace pr::graph {
+namespace {
+
+TEST(Ring, Shape) {
+  const Graph g = ring(6);
+  EXPECT_EQ(g.node_count(), 6U);
+  EXPECT_EQ(g.edge_count(), 6U);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2U);
+  EXPECT_TRUE(is_two_edge_connected(g));
+  EXPECT_THROW(ring(2), std::invalid_argument);
+}
+
+TEST(Complete, Shape) {
+  const Graph g = complete(5);
+  EXPECT_EQ(g.edge_count(), 10U);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4U);
+}
+
+TEST(Grid, Shape) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12U);
+  EXPECT_EQ(g.edge_count(), 3U * 3U + 2U * 4U);  // horizontal + vertical
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(is_two_edge_connected(Graph{grid(2, 2)}) == false)
+      << "2x2 grid is a 4-ring and must be 2-edge-connected";
+}
+
+TEST(Torus, Shape) {
+  const Graph g = torus(3, 4);
+  EXPECT_EQ(g.node_count(), 12U);
+  EXPECT_EQ(g.edge_count(), 24U);  // 4-regular
+  for (NodeId v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 4U);
+  EXPECT_TRUE(is_two_edge_connected(g));
+  EXPECT_THROW(torus(2, 4), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, EdgeCountWithinBounds) {
+  Rng rng(1);
+  const Graph g = erdos_renyi(30, 0.2, rng);
+  EXPECT_EQ(g.node_count(), 30U);
+  EXPECT_LE(g.edge_count(), 30U * 29U / 2U);
+  EXPECT_THROW(erdos_renyi(30, 1.5, rng), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  Rng rng(2);
+  EXPECT_EQ(erdos_renyi(10, 0.0, rng).edge_count(), 0U);
+  EXPECT_EQ(erdos_renyi(10, 1.0, rng).edge_count(), 45U);
+}
+
+TEST(Waxman, ProducesSimpleGraph) {
+  Rng rng(3);
+  const Graph g = waxman(40, 0.8, 0.3, rng);
+  g.check_invariants();
+  for (EdgeId e = 0; e < g.edge_count(); ++e) EXPECT_NE(g.edge_u(e), g.edge_v(e));
+}
+
+TEST(RandomTwoEdgeConnected, AlwaysTwoEdgeConnected) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const Graph g = random_two_edge_connected(12, 6, rng);
+    EXPECT_EQ(g.node_count(), 12U);
+    EXPECT_EQ(g.edge_count(), 18U);
+    EXPECT_TRUE(is_two_edge_connected(g)) << "seed " << seed;
+    g.check_invariants();
+  }
+}
+
+TEST(RandomTwoEdgeConnected, RejectsOverfullChordCount) {
+  Rng rng(4);
+  EXPECT_THROW(random_two_edge_connected(5, 100, rng), std::invalid_argument);
+}
+
+TEST(Petersen, Shape) {
+  const Graph g = petersen();
+  EXPECT_EQ(g.node_count(), 10U);
+  EXPECT_EQ(g.edge_count(), 15U);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3U);
+  EXPECT_TRUE(is_two_edge_connected(g));
+}
+
+TEST(Kuratowski, Shapes) {
+  EXPECT_EQ(k5().edge_count(), 10U);
+  const Graph g = k33();
+  EXPECT_EQ(g.edge_count(), 9U);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 3U);
+}
+
+TEST(Rng, Determinism) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.below(1000), b.below(1000));
+}
+
+}  // namespace
+}  // namespace pr::graph

@@ -1,0 +1,112 @@
+// Tests for the genus-minimising local search and the top-level embedder.
+#include "embed/genus_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "embed/embedder.hpp"
+#include "graph/generators.hpp"
+
+namespace pr::embed {
+namespace {
+
+TEST(GenusOpt, PlanarGraphReachesGenusZero) {
+  const Graph g = graph::grid(3, 3);
+  const auto result = minimize_genus(g);
+  EXPECT_EQ(result.genus, 0);
+}
+
+TEST(GenusOpt, K5ReachesKnownMinimumGenusOne) {
+  const Graph g = graph::k5();
+  GenusSearchOptions opts;
+  opts.max_iterations = 8000;
+  const auto result = minimize_genus(g, opts);
+  EXPECT_EQ(result.genus, 1);  // gamma(K5) = 1
+}
+
+TEST(GenusOpt, K33ReachesKnownMinimumGenusOne) {
+  const Graph g = graph::k33();
+  GenusSearchOptions opts;
+  opts.max_iterations = 8000;
+  const auto result = minimize_genus(g, opts);
+  EXPECT_EQ(result.genus, 1);  // gamma(K3,3) = 1
+}
+
+TEST(GenusOpt, PetersenReachesKnownMinimumGenusOne) {
+  const Graph g = graph::petersen();
+  GenusSearchOptions opts;
+  opts.max_iterations = 20000;
+  const auto result = minimize_genus(g, opts);
+  EXPECT_EQ(result.genus, 1);  // gamma(Petersen) = 1
+}
+
+TEST(GenusOpt, ResultAlwaysValidEmbedding) {
+  graph::Rng rng(31);
+  const Graph g = graph::erdos_renyi(9, 0.5, rng);
+  GenusSearchOptions opts;
+  opts.max_iterations = 500;
+  const auto result = minimize_genus(g, opts);
+  const auto faces = trace_faces(result.rotation);
+  EXPECT_NO_THROW(check_face_set(result.rotation, faces));
+  EXPECT_EQ(euler_genus(g, faces), result.genus);
+}
+
+TEST(GenusOpt, ZeroBudgetStillValid) {
+  GenusSearchOptions opts;
+  opts.max_iterations = 0;
+  const auto result = minimize_genus(graph::k5(), opts);
+  EXPECT_GE(result.genus, 1);
+  EXPECT_NO_THROW(check_face_set(result.rotation, trace_faces(result.rotation)));
+}
+
+TEST(GenusOpt, DeterministicForFixedSeed) {
+  const Graph g = graph::petersen();
+  GenusSearchOptions opts;
+  opts.max_iterations = 1000;
+  const auto a = minimize_genus(g, opts);
+  const auto b = minimize_genus(g, opts);
+  EXPECT_EQ(a.genus, b.genus);
+  EXPECT_EQ(a.iterations_used, b.iterations_used);
+}
+
+TEST(Embedder, AutoUsesPlanarWhenPossible) {
+  const Graph g = graph::grid(4, 4);
+  const auto emb = embed(g);
+  EXPECT_EQ(emb.strategy_used, EmbedStrategy::kPlanar);
+  EXPECT_EQ(emb.genus, 0);
+  EXPECT_TRUE(emb.planar());
+}
+
+TEST(Embedder, AutoFallsBackToSearchOnNonPlanar) {
+  const Graph g = graph::k5();
+  const auto emb = embed(g);
+  EXPECT_EQ(emb.strategy_used, EmbedStrategy::kLocalSearch);
+  EXPECT_GE(emb.genus, 1);
+}
+
+TEST(Embedder, PlanarStrategyThrowsOnNonPlanar) {
+  EmbedOptions opts;
+  opts.strategy = EmbedStrategy::kPlanar;
+  EXPECT_THROW((void)embed(graph::k33(), opts), std::invalid_argument);
+}
+
+TEST(Embedder, RandomAndIdentityAlwaysSucceed) {
+  const Graph g = graph::petersen();
+  for (EmbedStrategy s : {EmbedStrategy::kRandom, EmbedStrategy::kIdentity}) {
+    EmbedOptions opts;
+    opts.strategy = s;
+    const auto emb = embed(g, opts);
+    EXPECT_EQ(emb.strategy_used, s);
+    EXPECT_GE(emb.genus, 1);  // Petersen cannot be genus 0
+    EXPECT_NO_THROW(check_face_set(emb.rotation, emb.faces));
+  }
+}
+
+TEST(Embedder, FacesMatchRotation) {
+  const Graph g = graph::ring(8);
+  const auto emb = embed(g);
+  EXPECT_EQ(emb.faces.face_count(), 2U);
+  EXPECT_EQ(emb.faces.face_of.size(), g.dart_count());
+}
+
+}  // namespace
+}  // namespace pr::embed

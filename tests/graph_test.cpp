@@ -1,0 +1,221 @@
+// Unit tests for the core multigraph and dart machinery.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pr::graph {
+namespace {
+
+TEST(DartHelpers, RoundTrip) {
+  const EdgeId e = 7;
+  const DartId fwd = make_dart(e, 0);
+  const DartId rev = make_dart(e, 1);
+  EXPECT_EQ(fwd, 14U);
+  EXPECT_EQ(rev, 15U);
+  EXPECT_EQ(reverse(fwd), rev);
+  EXPECT_EQ(reverse(rev), fwd);
+  EXPECT_EQ(dart_edge(fwd), e);
+  EXPECT_EQ(dart_edge(rev), e);
+  EXPECT_EQ(dart_side(fwd), 0U);
+  EXPECT_EQ(dart_side(rev), 1U);
+}
+
+TEST(DartHelpers, ReverseIsInvolution) {
+  for (DartId d = 0; d < 100; ++d) {
+    EXPECT_EQ(reverse(reverse(d)), d);
+    EXPECT_NE(reverse(d), d);
+  }
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0U);
+  EXPECT_EQ(g.edge_count(), 0U);
+  EXPECT_EQ(g.dart_count(), 0U);
+  g.check_invariants();
+}
+
+TEST(Graph, PreallocatedNodes) {
+  Graph g(4);
+  EXPECT_EQ(g.node_count(), 4U);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(g.node_label(v).empty());
+    EXPECT_EQ(g.degree(v), 0U);
+  }
+}
+
+TEST(Graph, AddNodesAndLabels) {
+  Graph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node();
+  EXPECT_EQ(a, 0U);
+  EXPECT_EQ(b, 1U);
+  EXPECT_EQ(g.node_label(a), "A");
+  EXPECT_EQ(g.display_name(c), "n2");
+  EXPECT_EQ(g.find_node("B"), std::optional<NodeId>(b));
+  EXPECT_FALSE(g.find_node("Z").has_value());
+  EXPECT_FALSE(g.find_node("").has_value());
+}
+
+TEST(Graph, DuplicateLabelRejected) {
+  Graph g;
+  g.add_node("A");
+  EXPECT_THROW(g.add_node("A"), std::invalid_argument);
+}
+
+TEST(Graph, SetNodeLabel) {
+  Graph g(2);
+  g.set_node_label(0, "x");
+  EXPECT_EQ(g.node_label(0), "x");
+  g.set_node_label(0, "x");  // relabelling with own label is fine
+  EXPECT_THROW(g.set_node_label(1, "x"), std::invalid_argument);
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1, 2.5);
+  EXPECT_EQ(g.edge_count(), 1U);
+  EXPECT_EQ(g.edge_u(e), 0U);
+  EXPECT_EQ(g.edge_v(e), 1U);
+  EXPECT_DOUBLE_EQ(g.edge_weight(e), 2.5);
+  EXPECT_EQ(g.degree(0), 1U);
+  EXPECT_EQ(g.degree(1), 1U);
+  EXPECT_EQ(g.degree(2), 0U);
+  g.check_invariants();
+}
+
+TEST(Graph, EdgeValidation) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);   // self loop
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);       // bad endpoint
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Graph, SetEdgeWeight) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1);
+  g.set_edge_weight(e, 9.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(e), 9.0);
+  EXPECT_THROW(g.set_edge_weight(e, 0.0), std::invalid_argument);
+}
+
+TEST(Graph, DartEndpoints) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(1, 2);
+  const DartId fwd = make_dart(e, 0);
+  EXPECT_EQ(g.dart_tail(fwd), 1U);
+  EXPECT_EQ(g.dart_head(fwd), 2U);
+  EXPECT_EQ(g.dart_tail(reverse(fwd)), 2U);
+  EXPECT_EQ(g.dart_head(reverse(fwd)), 1U);
+}
+
+TEST(Graph, DartFrom) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(1, 2);
+  EXPECT_EQ(g.dart_from(1, e), make_dart(e, 0));
+  EXPECT_EQ(g.dart_from(2, e), make_dart(e, 1));
+  EXPECT_THROW((void)g.dart_from(0, e), std::invalid_argument);
+}
+
+TEST(Graph, OutDartsOrderAndOwnership) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(3, 0);
+  const auto outs = g.out_darts(0);
+  ASSERT_EQ(outs.size(), 3U);
+  EXPECT_EQ(g.dart_head(outs[0]), 1U);
+  EXPECT_EQ(g.dart_head(outs[1]), 2U);
+  EXPECT_EQ(g.dart_head(outs[2]), 3U);
+  for (DartId d : outs) EXPECT_EQ(g.dart_tail(d), 0U);
+}
+
+TEST(Graph, FindEdgeAndDart) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(g.find_edge(0, 1), std::optional<EdgeId>(e));
+  EXPECT_EQ(g.find_edge(1, 0), std::optional<EdgeId>(e));
+  EXPECT_FALSE(g.find_edge(0, 2).has_value());
+  EXPECT_EQ(g.find_dart(0, 1), std::optional<DartId>(make_dart(e, 0)));
+  EXPECT_EQ(g.find_dart(1, 0), std::optional<DartId>(make_dart(e, 1)));
+  EXPECT_FALSE(g.find_dart(2, 0).has_value());
+}
+
+TEST(Graph, ParallelEdgesSupported) {
+  Graph g(2);
+  const EdgeId e1 = g.add_edge(0, 1);
+  const EdgeId e2 = g.add_edge(0, 1);
+  EXPECT_NE(e1, e2);
+  EXPECT_EQ(g.degree(0), 2U);
+  EXPECT_EQ(g.degree(1), 2U);
+  g.check_invariants();
+}
+
+TEST(Graph, DartNameUsesLabels) {
+  Graph g;
+  g.add_node("A");
+  g.add_node("B");
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(g.dart_name(make_dart(e, 0)), "A->B");
+  EXPECT_EQ(g.dart_name(make_dart(e, 1)), "B->A");
+}
+
+TEST(Graph, TotalWeight) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 4.0);
+}
+
+TEST(EdgeSet, InsertEraseContains) {
+  EdgeSet s(5);
+  EXPECT_TRUE(s.empty());
+  s.insert(3);
+  s.insert(1);
+  s.insert(3);  // duplicate ignored
+  EXPECT_EQ(s.size(), 2U);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_FALSE(s.contains(0));
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1U);
+  s.erase(3);  // erase of absent member is a no-op
+  EXPECT_EQ(s.size(), 1U);
+}
+
+TEST(EdgeSet, OutOfRangeInsertThrows) {
+  EdgeSet s(2);
+  EXPECT_THROW(s.insert(2), std::out_of_range);
+  EXPECT_FALSE(s.contains(99));  // contains is total
+}
+
+TEST(EdgeSet, ElementsPreserveInsertionOrder) {
+  EdgeSet s(10);
+  s.insert(7);
+  s.insert(2);
+  s.insert(5);
+  const auto elems = s.elements();
+  ASSERT_EQ(elems.size(), 3U);
+  EXPECT_EQ(elems[0], 7U);
+  EXPECT_EQ(elems[1], 2U);
+  EXPECT_EQ(elems[2], 5U);
+}
+
+TEST(EdgeSet, Clear) {
+  EdgeSet s(4);
+  s.insert(0);
+  s.insert(3);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(0));
+  s.insert(0);  // reusable after clear
+  EXPECT_TRUE(s.contains(0));
+}
+
+}  // namespace
+}  // namespace pr::graph

@@ -1,0 +1,83 @@
+// Unit tests for the DSCP pool-2 header codec and overhead accounting.
+#include "net/header_codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pr::net {
+namespace {
+
+TEST(BitsForValue, Basics) {
+  EXPECT_EQ(bits_for_value(0), 0U);
+  EXPECT_EQ(bits_for_value(1), 1U);
+  EXPECT_EQ(bits_for_value(2), 2U);
+  EXPECT_EQ(bits_for_value(3), 2U);
+  EXPECT_EQ(bits_for_value(4), 3U);
+  EXPECT_EQ(bits_for_value(7), 3U);
+  EXPECT_EQ(bits_for_value(8), 4U);
+  EXPECT_EQ(bits_for_value(255), 8U);
+  EXPECT_EQ(bits_for_value(256), 9U);
+}
+
+TEST(PrHeaderLayout, ForHopDiameter) {
+  // Paper: "in the order of log2(d) bits, where d is the diameter".
+  EXPECT_EQ(PrHeaderLayout::for_hop_diameter(1).dd_bits, 1U);
+  EXPECT_EQ(PrHeaderLayout::for_hop_diameter(5).dd_bits, 3U);
+  EXPECT_EQ(PrHeaderLayout::for_hop_diameter(7).dd_bits, 3U);
+  EXPECT_EQ(PrHeaderLayout::for_hop_diameter(8).dd_bits, 4U);
+}
+
+TEST(PrHeaderLayout, Pool2Fit) {
+  EXPECT_TRUE(PrHeaderLayout::for_hop_diameter(7).fits_dscp_pool2());   // 1+3 bits
+  EXPECT_FALSE(PrHeaderLayout::for_hop_diameter(8).fits_dscp_pool2());  // 1+4 bits
+}
+
+TEST(PrHeaderLayout, MaxEncodableDd) {
+  EXPECT_EQ(PrHeaderLayout{3}.max_encodable_dd(), 7U);
+  EXPECT_EQ(PrHeaderLayout{0}.max_encodable_dd(), 0U);
+}
+
+TEST(EncodeDscp, RoundTripAllValues) {
+  const PrHeaderLayout layout{3};
+  for (unsigned pr = 0; pr <= 1; ++pr) {
+    for (std::uint32_t dd = 0; dd <= 7; ++dd) {
+      const auto code = encode_dscp(layout, pr != 0, dd);
+      EXPECT_EQ(code & 0b11, 0b11) << "must be a pool-2 codepoint";
+      EXPECT_LE(code, 0b111111) << "must fit the 6-bit DSCP field";
+      const auto decoded = decode_dscp(layout, code);
+      EXPECT_EQ(decoded.pr_bit, pr != 0);
+      EXPECT_EQ(decoded.dd, dd);
+    }
+  }
+}
+
+TEST(EncodeDscp, RejectsOversizedDd) {
+  const PrHeaderLayout layout{2};
+  EXPECT_THROW((void)encode_dscp(layout, true, 4), std::invalid_argument);
+}
+
+TEST(EncodeDscp, RejectsOversizedLayout) {
+  const PrHeaderLayout layout{4};  // 1 + 4 = 5 bits > 4 available
+  EXPECT_THROW((void)encode_dscp(layout, true, 0), std::invalid_argument);
+}
+
+TEST(DecodeDscp, RejectsNonPool2) {
+  EXPECT_THROW((void)decode_dscp(PrHeaderLayout{2}, 0b000001), std::invalid_argument);
+  EXPECT_THROW((void)decode_dscp(PrHeaderLayout{2}, 0b000100), std::invalid_argument);
+}
+
+TEST(FcpHeaderBits, GrowsLinearlyWithFailures) {
+  const std::size_t edges = 50;  // id field: 6 bits, count field: 6 bits
+  EXPECT_EQ(fcp_header_bits(0, edges), 6U);
+  EXPECT_EQ(fcp_header_bits(1, edges), 12U);
+  EXPECT_EQ(fcp_header_bits(10, edges), 66U);
+}
+
+TEST(FcpHeaderBits, ExceedsPrByOrdersOfMagnitude) {
+  // The qualitative claim of Section 6: even a handful of carried failures
+  // needs far more header bits than PR's fixed 1 + log2(d).
+  const auto pr_bits = PrHeaderLayout::for_hop_diameter(7).total_bits();
+  EXPECT_GT(fcp_header_bits(4, 100), 4 * pr_bits);
+}
+
+}  // namespace
+}  // namespace pr::net

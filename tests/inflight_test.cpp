@@ -1,0 +1,164 @@
+// Event-driven properties: failures landing while packets are in flight.
+//
+// The synchronous walker samples link state per hop; the event simulator
+// makes that real -- a link can die between a packet's hops, or even while
+// the packet is cycle-following around an earlier failure.  The protocol
+// contract still holds: every packet ends delivered or cleanly dropped, and
+// the simulator never observes a forward-over-down-link violation (which
+// would throw).
+#include <gtest/gtest.h>
+
+#include "analysis/protocols.hpp"
+#include "core/pr_protocol.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "net/event_sim.hpp"
+#include "net/failure_model.hpp"
+#include "topo/topologies.hpp"
+
+namespace pr {
+namespace {
+
+using graph::NodeId;
+
+class InFlightSuite : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InFlightSuite, RandomMidFlightFailuresNeverViolateTheContract) {
+  graph::Rng rng(GetParam());
+  const auto g = topo::geant();
+  const analysis::ProtocolSuite suite(g);
+  core::PacketRecycling pr(suite.routes(), suite.cycle_table());
+
+  net::Network network(g);
+  net::Simulator sim;
+
+  // 30 random failures at random times within the first 50 ms.
+  for (int i = 0; i < 30; ++i) {
+    const auto e = static_cast<graph::EdgeId>(rng.below(g.edge_count()));
+    sim.at(rng.unit() * 0.05, [&network, e] { network.fail_link(e); });
+  }
+  // 200 packets between random pairs, launched across the same window.
+  std::size_t done = 0;
+  std::size_t delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto s = static_cast<NodeId>(rng.below(g.node_count()));
+    auto t = static_cast<NodeId>(rng.below(g.node_count() - 1));
+    if (t >= s) ++t;
+    net::launch_packet(sim, network, pr, s, t, rng.unit() * 0.05,
+                       [&done, &delivered, t](const net::PathTrace& trace) {
+                         ++done;
+                         if (trace.delivered()) {
+                           ++delivered;
+                           EXPECT_EQ(trace.nodes.back(), t);
+                         }
+                       });
+  }
+  // Contract violations throw out of sim.run(); absence of throw = pass.
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_EQ(done, 200U);
+  EXPECT_GT(delivered, 0U);
+}
+
+TEST_P(InFlightSuite, PacketsInFlightAtFailureTimeStillGetRepaired) {
+  // One long path, one failure timed to land exactly while packets traverse
+  // it: all packets sent before AND after must be delivered, since the
+  // network stays connected.
+  graph::Rng rng(GetParam() + 500);
+  const auto g = topo::abilene();
+  const analysis::ProtocolSuite suite(g);
+  core::PacketRecycling pr(suite.routes(), suite.cycle_table());
+
+  const auto src = *g.find_node("Seattle");
+  const auto dst = *g.find_node("Atlanta");
+  const auto mid = *g.find_edge(*g.find_node("KansasCity"), *g.find_node("Houston"));
+
+  net::Network network(g);
+  net::Simulator sim;
+  sim.at(0.0021, [&] { network.fail_link(mid); });
+
+  std::size_t delivered = 0;
+  std::size_t total = 0;
+  for (double t = 0.0; t < 0.006; t += 0.0005) {
+    ++total;
+    net::launch_packet(sim, network, pr, src, dst, t,
+                       [&delivered](const net::PathTrace& trace) {
+                         if (trace.delivered()) ++delivered;
+                       });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, total) << "connected network: PR must save every packet";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InFlightSuite, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(InFlight, FlapDamperKeepsCycleFollowingConsistent) {
+  // Section 7: a restored link must not flip state under a packet that saw it
+  // down.  With the damper, a packet that starts cycle-following just before
+  // the restore request still completes its detour coherently.
+  const auto g = topo::abilene();
+  const analysis::ProtocolSuite suite(g);
+  core::PacketRecycling pr(suite.routes(), suite.cycle_table());
+
+  net::Network network(g);
+  net::Simulator sim;
+  net::FlapDamper damper(sim, network, /*hold_down=*/1.0);
+
+  const auto src = *g.find_node("Seattle");
+  const auto dst = *g.find_node("NewYork");
+  const auto edge = *g.find_edge(*g.find_node("Chicago"), *g.find_node("NewYork"));
+
+  sim.at(0.001, [&] { damper.fail(edge); });
+  sim.at(0.002, [&] { damper.request_restore(edge); });
+
+  std::size_t delivered = 0;
+  for (double t = 0.0; t < 0.01; t += 0.001) {
+    net::launch_packet(sim, network, pr, src, dst, t,
+                       [&delivered](const net::PathTrace& trace) {
+                         if (trace.delivered()) ++delivered;
+                       });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 10U);
+  EXPECT_TRUE(network.link_up(edge));  // restore committed after hold-down
+  EXPECT_GT(sim.now(), 1.0);           // ... which takes the full window
+}
+
+TEST(InFlight, StormWithDamperDeliversEverythingReachable) {
+  // A reproducible storm where every failure is eventually restored: by the
+  // end the network is whole, and during the storm PR loses only packets
+  // whose destination was momentarily unreachable (none, on single failures
+  // spaced out in time).
+  const auto g = topo::geant();
+  const analysis::ProtocolSuite suite(g);
+  core::PacketRecycling pr(suite.routes(), suite.cycle_table());
+
+  net::Network network(g);
+  net::Simulator sim;
+  net::FlapDamper damper(sim, network, 0.05);
+  graph::Rng rng(99);
+
+  for (int i = 0; i < 10; ++i) {
+    const auto e = static_cast<graph::EdgeId>(rng.below(g.edge_count()));
+    const double t0 = 0.1 * i;
+    sim.at(t0 + 0.01, [&damper, e] { damper.fail(e); });
+    sim.at(t0 + 0.02, [&damper, e] { damper.request_restore(e); });
+  }
+  std::size_t delivered = 0;
+  std::size_t total = 0;
+  for (double t = 0.0; t < 1.0; t += 0.007) {
+    ++total;
+    const auto s = static_cast<NodeId>(rng.below(g.node_count()));
+    auto d = static_cast<NodeId>(rng.below(g.node_count() - 1));
+    if (d >= s) ++d;
+    net::launch_packet(sim, network, pr, s, d, t,
+                       [&delivered](const net::PathTrace& trace) {
+                         if (trace.delivered()) ++delivered;
+                       });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, total);
+  EXPECT_EQ(network.failure_count(), 0U);
+}
+
+}  // namespace
+}  // namespace pr

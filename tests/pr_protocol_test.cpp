@@ -1,0 +1,197 @@
+// Unit tests for cycle-following tables and the PacketRecycling protocol.
+#include "core/pr_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "embed/embedder.hpp"
+#include "graph/generators.hpp"
+#include "net/failure_model.hpp"
+#include "topo/topologies.hpp"
+
+namespace pr::core {
+namespace {
+
+using graph::DartId;
+using graph::EdgeId;
+using graph::NodeId;
+
+TEST(CycleFollowingTable, PhiIdentities) {
+  graph::Rng rng(41);
+  const auto g = graph::random_two_edge_connected(10, 6, rng);
+  const auto emb = embed::embed(g);
+  const CycleFollowingTable table(emb.rotation);
+  for (DartId d = 0; d < g.dart_count(); ++d) {
+    // Column 2 is phi.
+    EXPECT_EQ(table.cycle_following(d), emb.rotation.face_successor(d));
+    // Column 3 equals sigma of the failed out-dart (right-hand rule).
+    EXPECT_EQ(table.complementary(d), emb.rotation.next_at_node(d));
+    // Both must leave the correct node.
+    EXPECT_EQ(g.dart_tail(table.cycle_following(d)), g.dart_head(d));
+    EXPECT_EQ(g.dart_tail(table.complementary(d)), g.dart_tail(d));
+  }
+}
+
+TEST(CycleFollowingTable, RowsCoverEveryInterfaceOnce) {
+  const auto g = topo::abilene();
+  const auto emb = embed::embed(g);
+  const CycleFollowingTable table(emb.rotation);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto rows = table.rows_for(v);
+    ASSERT_EQ(rows.size(), g.degree(v));
+    for (const auto& row : rows) {
+      EXPECT_EQ(g.dart_head(row.incoming), v);
+      EXPECT_EQ(g.dart_tail(row.cycle_following), v);
+      EXPECT_EQ(g.dart_tail(row.complementary), v);
+    }
+  }
+}
+
+TEST(CycleFollowingTable, CycleFollowingIsAPermutationOfInterfaces) {
+  // The paper: "the forwarding table is a permutation over the output
+  // interfaces".  At every node, distinct incoming interfaces map to
+  // distinct outgoing ones.
+  const auto g = topo::geant();
+  const auto emb = embed::embed(g);
+  const CycleFollowingTable table(emb.rotation);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::vector<DartId> outs;
+    for (const auto& row : table.rows_for(v)) outs.push_back(row.cycle_following);
+    std::sort(outs.begin(), outs.end());
+    EXPECT_EQ(std::adjacent_find(outs.begin(), outs.end()), outs.end())
+        << "duplicate cycle-following interface at node " << v;
+  }
+}
+
+TEST(CycleFollowingTable, MemoryIsTwoWordsPerInterface) {
+  const auto g = topo::abilene();
+  const auto emb = embed::embed(g);
+  const CycleFollowingTable table(emb.rotation);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(table.memory_bytes_per_router(v), g.degree(v) * 2 * sizeof(DartId));
+  }
+}
+
+TEST(CycleFollowingTable, MismatchedGraphsRejected) {
+  const auto g1 = graph::ring(4);
+  const auto g2 = graph::ring(4);
+  const auto emb1 = embed::embed(g1);
+  const route::RoutingDb routes2(g2);
+  const CycleFollowingTable cycles1(emb1.rotation);
+  EXPECT_THROW(PacketRecycling(routes2, cycles1), std::invalid_argument);
+}
+
+class PrOnRing : public ::testing::Test {
+ protected:
+  PrOnRing()
+      : g_(graph::ring(6)),
+        emb_(embed::embed(g_)),
+        routes_(g_),
+        cycles_(emb_.rotation),
+        pr_(routes_, cycles_) {}
+
+  graph::Graph g_;
+  embed::Embedding emb_;
+  route::RoutingDb routes_;
+  CycleFollowingTable cycles_;
+  PacketRecycling pr_;
+};
+
+TEST_F(PrOnRing, NoFailureMeansShortestPath) {
+  net::Network network(g_);
+  for (NodeId s = 0; s < g_.node_count(); ++s) {
+    for (NodeId t = 0; t < g_.node_count(); ++t) {
+      const auto trace = net::route_packet(network, pr_, s, t);
+      ASSERT_TRUE(trace.delivered());
+      EXPECT_DOUBLE_EQ(trace.cost, routes_.cost(s, t));
+      EXPECT_FALSE(trace.final_packet.pr_bit);
+      EXPECT_TRUE(trace.final_packet.fcp_failures.empty());
+    }
+  }
+}
+
+TEST_F(PrOnRing, SingleFailureForcesTheLongWay) {
+  net::Network network(g_);
+  network.fail_link(*g_.find_edge(0, 1));
+  const auto trace = net::route_packet(network, pr_, 0, 1);
+  ASSERT_TRUE(trace.delivered());
+  EXPECT_EQ(trace.hops, 5U);  // the ring's only detour
+}
+
+TEST_F(PrOnRing, PacketHeaderStateIsClearedOnExit) {
+  net::Network network(g_);
+  network.fail_link(*g_.find_edge(0, 1));
+  const auto trace = net::route_packet(network, pr_, 0, 1);
+  ASSERT_TRUE(trace.delivered());
+  // On a ring the packet stays in cycle-following mode until the far side of
+  // the failed link, which is the destination itself.
+  EXPECT_LE(trace.final_packet.dd, graph::hop_diameter(g_));
+}
+
+TEST_F(PrOnRing, DisconnectedDestinationExpiresTtl) {
+  net::Network network(g_);
+  network.fail_link(*g_.find_edge(0, 1));
+  network.fail_link(*g_.find_edge(3, 4));
+  const auto trace = net::route_packet(network, pr_, 0, 2);
+  // 0 and 2 are on opposite sides of the cut; PR guarantees nothing here and
+  // loops until the walker's TTL fires.
+  EXPECT_FALSE(trace.delivered());
+  EXPECT_EQ(trace.drop_reason, net::DropReason::kTtlExpired);
+}
+
+TEST(PrProtocol, IsolatedSourceDropsCleanly) {
+  const auto g = graph::ring(4);
+  const auto emb = embed::embed(g);
+  const route::RoutingDb routes(g);
+  const CycleFollowingTable cycles(emb.rotation);
+  PacketRecycling pr(routes, cycles);
+  net::Network network(g);
+  network.fail_node(0);  // both of node 0's links go down
+  const auto trace = net::route_packet(network, pr, 0, 2);
+  EXPECT_FALSE(trace.delivered());
+  EXPECT_EQ(trace.drop_reason, net::DropReason::kNoRoute);
+}
+
+TEST(PrProtocol, NodeFailureRoutedAround) {
+  // Node failure = all incident links down (Section 4 model).  K4 minus a
+  // node keeps the rest connected.
+  const auto g = graph::complete(4);
+  const auto emb = embed::embed(g);
+  const route::RoutingDb routes(g);
+  const CycleFollowingTable cycles(emb.rotation);
+  PacketRecycling pr(routes, cycles);
+  net::Network network(g);
+  network.fail_node(1);
+  for (NodeId s : {0U, 2U, 3U}) {
+    for (NodeId t : {0U, 2U, 3U}) {
+      const auto trace = net::route_packet(network, pr, s, t);
+      EXPECT_TRUE(trace.delivered()) << s << "->" << t;
+    }
+  }
+}
+
+TEST(PrProtocol, NameReflectsVariant) {
+  const auto g = graph::ring(4);
+  const auto emb = embed::embed(g);
+  const route::RoutingDb routes(g);
+  const CycleFollowingTable cycles(emb.rotation);
+  EXPECT_EQ(PacketRecycling(routes, cycles, PrVariant::kSingleBit).name(), "pr-1bit");
+  EXPECT_EQ(PacketRecycling(routes, cycles, PrVariant::kDistanceDiscriminator).name(),
+            "pr");
+}
+
+TEST(PrProtocol, WeightedDiscriminatorVariantDelivers) {
+  // Ablation A4: DD = weighted cost instead of hops.
+  const auto g = topo::figure1();
+  const auto rot = topo::figure1_rotation(g);
+  const route::RoutingDb routes(g, nullptr, route::DiscriminatorKind::kWeightedCost);
+  const CycleFollowingTable cycles(rot);
+  PacketRecycling pr(routes, cycles);
+  net::Network network(g);
+  network.fail_link(*g.find_edge(*g.find_node("D"), *g.find_node("E")));
+  network.fail_link(*g.find_edge(*g.find_node("B"), *g.find_node("C")));
+  const auto trace = net::route_packet(network, pr, *g.find_node("A"), *g.find_node("F"));
+  EXPECT_TRUE(trace.delivered());
+}
+
+}  // namespace
+}  // namespace pr::core

@@ -1,0 +1,170 @@
+// Tests for the interface queueing model and its flight-engine integration.
+#include "net/queueing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "net/event_sim.hpp"
+#include "route/routing_db.hpp"
+#include "route/static_spf.hpp"
+
+namespace pr::net {
+namespace {
+
+QueueModel::Config small_link() {
+  QueueModel::Config cfg;
+  cfg.link_rate_bps = 8000;  // 1 packet of 8000 bits per second
+  cfg.packet_bits = 8000;
+  cfg.queue_packets = 2;
+  return cfg;
+}
+
+TEST(QueueModel, Validation) {
+  const auto g = graph::ring(3);
+  const Network net(g);
+  QueueModel::Config bad = small_link();
+  bad.link_rate_bps = 0;
+  EXPECT_THROW(QueueModel(net, bad), std::invalid_argument);
+  bad = small_link();
+  bad.queue_packets = 0;
+  EXPECT_THROW(QueueModel(net, bad), std::invalid_argument);
+}
+
+TEST(QueueModel, SerialisesBackToBackPackets) {
+  const auto g = graph::ring(3);
+  const Network net(g);
+  QueueModel q(net, small_link());
+  EXPECT_DOUBLE_EQ(q.transmission_time(), 1.0);
+  const auto first = q.enqueue(0, 0.0);
+  const auto second = q.enqueue(0, 0.0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(*first, 1.0);
+  EXPECT_DOUBLE_EQ(*second, 2.0);  // waited behind the first
+}
+
+TEST(QueueModel, TailDropsWhenFull) {
+  const auto g = graph::ring(3);
+  const Network net(g);
+  QueueModel q(net, small_link());  // 2-packet buffer
+  EXPECT_TRUE(q.enqueue(0, 0.0).has_value());
+  EXPECT_TRUE(q.enqueue(0, 0.0).has_value());
+  EXPECT_FALSE(q.enqueue(0, 0.0).has_value());  // third: backlog 2 >= 2
+  EXPECT_EQ(q.tail_drops(), 1U);
+}
+
+TEST(QueueModel, QueuesDrainOverTime) {
+  const auto g = graph::ring(3);
+  const Network net(g);
+  QueueModel q(net, small_link());
+  (void)q.enqueue(0, 0.0);
+  (void)q.enqueue(0, 0.0);
+  // After the first packet finishes (t=1), a new arrival fits again.
+  EXPECT_TRUE(q.enqueue(0, 1.0).has_value());
+}
+
+TEST(QueueModel, PerInterfaceIndependence) {
+  const auto g = graph::ring(3);
+  const Network net(g);
+  QueueModel q(net, small_link());
+  (void)q.enqueue(0, 0.0);
+  (void)q.enqueue(0, 0.0);
+  // Another dart is unaffected.
+  const auto other = q.enqueue(2, 0.0);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_DOUBLE_EQ(*other, 1.0);
+}
+
+TEST(QueueModel, FlushResetsBacklog) {
+  const auto g = graph::ring(3);
+  const Network net(g);
+  QueueModel q(net, small_link());
+  (void)q.enqueue(0, 0.0);
+  (void)q.enqueue(0, 0.0);
+  q.flush();
+  const auto after = q.enqueue(0, 0.0);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_DOUBLE_EQ(*after, 1.0);
+}
+
+TEST(FlightWithQueues, CongestionDropsReported) {
+  // One bottleneck link, burst of simultaneous packets: buffer + 1 pass,
+  // the rest are congestion drops.
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  Network net(g);
+  net.set_processing_delay(0.0);
+  net.set_link_delay(0, 0.0);
+  const route::RoutingDb db(g);
+  route::StaticSpf spf(db);
+  QueueModel queues(net, small_link());  // 2-packet buffer
+
+  Simulator sim;
+  std::size_t delivered = 0;
+  std::size_t congested = 0;
+  for (int i = 0; i < 6; ++i) {
+    launch_packet(sim, net, spf, 0, 1, 0.0,
+                  [&](const PathTrace& trace) {
+                    if (trace.delivered()) {
+                      ++delivered;
+                    } else if (trace.drop_reason == DropReason::kCongestion) {
+                      ++congested;
+                    }
+                  },
+                  0, &queues);
+  }
+  sim.run();
+  EXPECT_EQ(delivered + congested, 6U);
+  EXPECT_EQ(congested, 4U) << "2-deep buffer admits 2 of 6 simultaneous packets";
+  EXPECT_EQ(queues.tail_drops(), 4U);
+}
+
+TEST(FlightWithQueues, DeliveryTimesIncludeSerialisation) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  Network net(g);
+  net.set_processing_delay(0.0);
+  net.set_link_delay(0, 0.25);
+  const route::RoutingDb db(g);
+  route::StaticSpf spf(db);
+  QueueModel::Config cfg = small_link();
+  cfg.queue_packets = 10;
+  QueueModel queues(net, cfg);
+
+  Simulator sim;
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    launch_packet(sim, net, spf, 0, 1, 0.0,
+                  [&](const PathTrace& trace) {
+                    EXPECT_TRUE(trace.delivered());
+                    arrivals.push_back(sim.now());
+                  },
+                  0, &queues);
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3U);
+  // tx 1 s each, then 0.25 s propagation: arrivals at 1.25, 2.25, 3.25.
+  EXPECT_DOUBLE_EQ(arrivals[0], 1.25);
+  EXPECT_DOUBLE_EQ(arrivals[1], 2.25);
+  EXPECT_DOUBLE_EQ(arrivals[2], 3.25);
+}
+
+TEST(FlightWithQueues, NoQueuesMeansNoCongestion) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  Network net(g);
+  const route::RoutingDb db(g);
+  route::StaticSpf spf(db);
+  Simulator sim;
+  std::size_t delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    launch_packet(sim, net, spf, 0, 1, 0.0, [&](const PathTrace& trace) {
+      if (trace.delivered()) ++delivered;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 100U);
+}
+
+}  // namespace
+}  // namespace pr::net

@@ -1,0 +1,87 @@
+// Unit tests for the routing database and the distance-discriminator column.
+#include "route/routing_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace pr::route {
+namespace {
+
+TEST(RoutingDb, NextHopsOnRing) {
+  const auto g = graph::ring(5);
+  const RoutingDb db(g);
+  // From node 1 to node 0: direct edge.
+  EXPECT_EQ(g.dart_head(db.next_dart(1, 0)), 0U);
+  // Destination entry has no next hop.
+  EXPECT_EQ(db.next_dart(0, 0), graph::kInvalidDart);
+  EXPECT_TRUE(db.reachable(3, 0));
+  EXPECT_DOUBLE_EQ(db.cost(3, 0), 2.0);
+  EXPECT_EQ(db.hops(3, 0), 2U);
+}
+
+TEST(RoutingDb, HopDiscriminatorIsStrictlyDecreasingAlongPaths) {
+  graph::Rng rng(21);
+  const auto g = graph::random_two_edge_connected(12, 6, rng);
+  const RoutingDb db(g);
+  for (graph::NodeId t = 0; t < g.node_count(); ++t) {
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == t) continue;
+      const auto next = g.dart_head(db.next_dart(v, t));
+      // The paper requires a strictly increasing function of the links along
+      // the shortest path; equivalently it strictly decreases hop by hop.
+      EXPECT_LT(db.discriminator(next, t), db.discriminator(v, t));
+    }
+  }
+}
+
+TEST(RoutingDb, WeightedDiscriminator) {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const RoutingDb db(g, nullptr, DiscriminatorKind::kWeightedCost);
+  EXPECT_EQ(db.discriminator(0, 2), 5U);
+  EXPECT_EQ(db.discriminator(1, 2), 3U);
+  EXPECT_EQ(db.discriminator_kind(), DiscriminatorKind::kWeightedCost);
+}
+
+TEST(RoutingDb, WeightedDiscriminatorRejectsFractionalWeights) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 1.5);
+  EXPECT_THROW(RoutingDb(g, nullptr, DiscriminatorKind::kWeightedCost),
+               std::invalid_argument);
+  // Hop discriminators do not care about fractional weights.
+  EXPECT_NO_THROW(RoutingDb(g, nullptr, DiscriminatorKind::kHops));
+}
+
+TEST(RoutingDb, DiscriminatorThrowsWhenUnreachable) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  const RoutingDb db(g);
+  EXPECT_FALSE(db.reachable(0, 2));
+  EXPECT_THROW((void)db.discriminator(0, 2), std::logic_error);
+}
+
+TEST(RoutingDb, MaxDiscriminatorEqualsHopDiameter) {
+  const auto g = graph::ring(8);
+  const RoutingDb db(g);
+  EXPECT_EQ(db.max_discriminator(), graph::hop_diameter(g));
+}
+
+TEST(RoutingDb, ExcludedEdgesChangeRoutes) {
+  const auto g = graph::ring(4);
+  graph::EdgeSet down(g.edge_count());
+  down.insert(*g.find_edge(0, 1));
+  const RoutingDb db(g, &down);
+  EXPECT_EQ(db.hops(0, 1), 3U);  // forced the long way round
+}
+
+TEST(RoutingDb, MemoryAccountingScalesWithNodeCount) {
+  const auto small = graph::ring(4);
+  const auto large = graph::ring(40);
+  EXPECT_LT(RoutingDb(small).memory_bytes_per_router(),
+            RoutingDb(large).memory_bytes_per_router());
+}
+
+}  // namespace
+}  // namespace pr::route

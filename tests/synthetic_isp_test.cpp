@@ -1,0 +1,123 @@
+// Tests for the synthetic ISP generator and the node-protecting LFA variant.
+#include <gtest/gtest.h>
+
+#include "analysis/protocols.hpp"
+#include "embed/planar.hpp"
+#include "graph/generators.hpp"
+#include "graph/connectivity.hpp"
+#include "net/failure_model.hpp"
+#include "route/lfa.hpp"
+#include "topo/topologies.hpp"
+
+namespace pr {
+namespace {
+
+using graph::NodeId;
+
+class SyntheticIspSuite : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SyntheticIspSuite, AlwaysPlanarAndTwoEdgeConnected) {
+  graph::Rng rng(GetParam());
+  const std::size_t core = 6 + rng.below(30);
+  const std::size_t pops = rng.below(core);
+  const auto g = topo::synthetic_isp(core, pops, rng);
+  EXPECT_EQ(g.node_count(), core + pops);
+  EXPECT_TRUE(graph::is_two_edge_connected(g));
+  EXPECT_TRUE(embed::is_planar(g));
+  g.check_invariants();
+}
+
+TEST_P(SyntheticIspSuite, PrRecoversSampledSingleFailures) {
+  graph::Rng rng(GetParam() + 100);
+  const auto g = topo::synthetic_isp(12, 8, rng);
+  const analysis::ProtocolSuite suite(g);
+  ASSERT_TRUE(suite.embedding().supports_pr());
+  for (const auto& failures : net::all_single_failures(g)) {
+    net::Network network(g);
+    for (auto e : failures.elements()) network.fail_link(e);
+    auto proto = suite.pr().make(network);
+    for (NodeId s = 0; s < g.node_count(); s += 2) {
+      for (NodeId t = 0; t < g.node_count(); t += 3) {
+        if (s == t) continue;
+        EXPECT_TRUE(net::route_packet(network, *proto, s, t).delivered());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticIspSuite, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(SyntheticIsp, LabelsAndValidation) {
+  graph::Rng rng(5);
+  const auto g = topo::synthetic_isp(6, 2, rng);
+  EXPECT_TRUE(g.find_node("core0").has_value());
+  EXPECT_TRUE(g.find_node("pop1").has_value());
+  EXPECT_THROW((void)topo::synthetic_isp(3, 1, rng), std::invalid_argument);
+}
+
+TEST(SyntheticIsp, AccessPopsAreDualHomed) {
+  graph::Rng rng(6);
+  const std::size_t core = 10;
+  const std::size_t pops = 7;
+  const auto g = topo::synthetic_isp(core, pops, rng);
+  for (NodeId v = core; v < g.node_count(); ++v) {
+    EXPECT_EQ(g.degree(v), 2U) << g.display_name(v);
+  }
+}
+
+TEST(NodeProtectingLfa, StrictlyFewerOrEqualAlternates) {
+  const auto g = topo::geant();
+  const route::RoutingDb db(g);
+  const route::LfaRouting link_lfa(db, route::LfaKind::kLinkProtecting);
+  const route::LfaRouting node_lfa(db, route::LfaKind::kNodeProtecting);
+  EXPECT_LE(node_lfa.alternate_coverage(), link_lfa.alternate_coverage());
+  EXPECT_GT(node_lfa.alternate_coverage(), 0.0);
+  // Every node-protecting alternate must also be link-protecting-admissible.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (v == t) continue;
+      const auto alt = node_lfa.alternate(v, t);
+      if (alt == graph::kInvalidDart) continue;
+      const NodeId nb = g.dart_head(alt);
+      EXPECT_LT(db.cost(nb, t), db.cost(nb, v) + db.cost(v, t));
+    }
+  }
+}
+
+TEST(NodeProtectingLfa, SurvivesPrimaryNextHopDeath) {
+  // Where a node-protecting alternate exists, killing the primary next-hop
+  // ROUTER (not just the link) must still deliver via one LFA deflection.
+  const auto g = topo::geant();
+  const route::RoutingDb db(g);
+  route::LfaRouting node_lfa(db, route::LfaKind::kNodeProtecting);
+  std::size_t exercised = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (v == t) continue;
+      const auto alt = node_lfa.alternate(v, t);
+      if (alt == graph::kInvalidDart) continue;
+      const NodeId primary_hop = g.dart_head(db.next_dart(v, t));
+      if (primary_hop == t) continue;  // cannot kill the destination
+      net::Network network(g);
+      network.fail_node(primary_hop);
+      const auto trace = net::route_packet(network, node_lfa, v, t);
+      // The deflection is guaranteed; the rest of the path may meet the dead
+      // router again only if the alternate's shortest path used it -- which
+      // the node-protecting condition forbids.
+      EXPECT_TRUE(trace.delivered()) << g.display_name(v) << "->" << g.display_name(t);
+      ++exercised;
+    }
+  }
+  EXPECT_GT(exercised, 100U);
+}
+
+TEST(NodeProtectingLfa, NamesReflectKind) {
+  const auto g = graph::complete(4);
+  const route::RoutingDb db(g);
+  EXPECT_EQ(route::LfaRouting(db).name(), "lfa");
+  EXPECT_EQ(route::LfaRouting(db, route::LfaKind::kNodeProtecting).name(),
+            "lfa-node-protecting");
+}
+
+}  // namespace
+}  // namespace pr

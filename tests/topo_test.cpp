@@ -1,0 +1,107 @@
+// Tests for the bundled topologies: shapes, the properties the paper's
+// guarantees require, and header-budget facts quoted in Section 6.
+#include "topo/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "embed/planar.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/dijkstra.hpp"
+#include "net/header_codec.hpp"
+
+namespace pr::topo {
+namespace {
+
+TEST(Figure1, Shape) {
+  const auto g = figure1();
+  EXPECT_EQ(g.node_count(), 6U);
+  EXPECT_EQ(g.edge_count(), 8U);
+  EXPECT_TRUE(graph::is_two_edge_connected(g));
+  EXPECT_TRUE(embed::is_planar(g));
+}
+
+TEST(Figure1, RotationRequiresMatchingGraph) {
+  const auto g = figure1();
+  EXPECT_NO_THROW((void)figure1_rotation(g));
+  const auto wrong = abilene();
+  EXPECT_THROW((void)figure1_rotation(wrong), std::invalid_argument);
+}
+
+TEST(Abilene, ExactShape) {
+  const auto g = abilene();
+  EXPECT_EQ(g.node_count(), 11U);
+  EXPECT_EQ(g.edge_count(), 14U);
+  EXPECT_TRUE(graph::is_two_edge_connected(g));
+  // The 2004 Abilene map is planar.
+  EXPECT_TRUE(embed::is_planar(g));
+  // Spot-check well-known adjacencies.
+  const auto n = [&g](const char* l) { return *g.find_node(l); };
+  EXPECT_TRUE(g.find_edge(n("Seattle"), n("Sunnyvale")).has_value());
+  EXPECT_TRUE(g.find_edge(n("KansasCity"), n("Indianapolis")).has_value());
+  EXPECT_TRUE(g.find_edge(n("Washington"), n("NewYork")).has_value());
+  EXPECT_FALSE(g.find_edge(n("Seattle"), n("NewYork")).has_value());
+}
+
+TEST(Abilene, HeaderFitsDscpPool2) {
+  // Abilene's hop diameter is 5, so PR needs 1 + 3 bits: within pool 2,
+  // exactly the deployment story of Section 6.
+  const auto g = abilene();
+  const auto d = graph::hop_diameter(g);
+  EXPECT_EQ(d, 5U);
+  EXPECT_TRUE(net::PrHeaderLayout::for_hop_diameter(d).fits_dscp_pool2());
+}
+
+TEST(Geant, ApproximationShape) {
+  const auto g = geant();
+  EXPECT_EQ(g.node_count(), 34U);
+  EXPECT_EQ(g.edge_count(), 55U);
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_TRUE(graph::is_two_edge_connected(g))
+      << "every NREN must be dual-homed for the single-failure guarantee";
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(g.degree(v), 2U) << g.display_name(v);
+  }
+}
+
+TEST(Geant, DiameterSmallEnoughForCompactDd) {
+  const auto g = geant();
+  const auto d = graph::hop_diameter(g);
+  EXPECT_LE(d, 8U);
+  EXPECT_LE(net::PrHeaderLayout::for_hop_diameter(d).total_bits(), 5U);
+}
+
+TEST(Teleglobe, ApproximationShape) {
+  const auto g = teleglobe();
+  EXPECT_EQ(g.node_count(), 25U);
+  EXPECT_EQ(g.edge_count(), 45U);
+  EXPECT_TRUE(graph::is_two_edge_connected(g));
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(g.degree(v), 2U) << g.display_name(v);
+  }
+}
+
+TEST(Teleglobe, SizedBetweenAbileneAndGeant) {
+  // The paper's failure counts (4 / 10 / 16) imply this ordering.
+  EXPECT_GT(teleglobe().edge_count(), abilene().edge_count());
+  EXPECT_LT(teleglobe().edge_count(), geant().edge_count());
+}
+
+TEST(AllTopologies, UnitWeightsExceptFigure1) {
+  for (const auto& g : {abilene(), geant(), teleglobe()}) {
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+      EXPECT_DOUBLE_EQ(g.edge_weight(e), 1.0);
+    }
+  }
+}
+
+TEST(AllTopologies, LabelsAreUniqueAndNonEmpty) {
+  for (const auto& g : {figure1(), abilene(), geant(), teleglobe()}) {
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_FALSE(g.node_label(v).empty());
+      EXPECT_EQ(g.find_node(g.node_label(v)), std::optional<graph::NodeId>(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pr::topo
