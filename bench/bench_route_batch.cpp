@@ -1,0 +1,141 @@
+// Perf bench for the batched forwarding engine: per-packet route_packet vs
+// stats-only and full-trace route_batch on a 1k-flow Abilene sweep.
+//
+// Emits the machine-readable BENCH_route_batch.json schema (also printed to
+// stdout) so successive PRs can track the forwarding path's throughput:
+//
+//   {
+//     "bench": "route_batch", "topology": "abilene",
+//     "nodes": N, "links": M, "flows": F, "failed_links": K,
+//     "repetitions": R,
+//     "results": [ { "protocol": "...",
+//                    "per_packet_ns_per_flow": ...,
+//                    "batch_stats_ns_per_flow": ...,
+//                    "batch_full_trace_ns_per_flow": ...,
+//                    "speedup_stats_vs_per_packet": ... }, ... ]
+//   }
+//
+// Timings are the best of R repetitions (least-noise estimator for
+// throughput benches).
+//
+//   $ ./bench_route_batch [flows] [repetitions]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/protocols.hpp"
+#include "sim/forwarding_engine.hpp"
+#include "topo/topologies.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace pr;
+
+double best_ns_per_flow(std::size_t repetitions, std::size_t flows,
+                        const std::function<std::uint64_t()>& work) {
+  double best = std::numeric_limits<double>::infinity();
+  std::uint64_t checksum = 0;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    const auto start = Clock::now();
+    checksum += work();
+    const auto ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
+            .count());
+    best = std::min(best, ns / static_cast<double>(flows));
+  }
+  if (checksum == 0) throw std::runtime_error("bench delivered nothing");
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t flow_target = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000;
+  const std::size_t repetitions = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  const graph::Graph g = topo::abilene();
+  const analysis::ProtocolSuite suite(g);
+
+  // One failed link so the sweep exercises the recovery paths, not just plain
+  // shortest-path forwarding.
+  net::Network network(g);
+  network.fail_link(0);
+
+  // 1k-flow sweep: all ordered pairs, repeated until the target is reached.
+  const auto pairs = sim::all_pairs_flows(g);
+  std::vector<sim::FlowSpec> flows;
+  flows.reserve(flow_target);
+  while (flows.size() < flow_target) {
+    for (const auto& pair : pairs) {
+      if (flows.size() == flow_target) break;
+      flows.push_back(pair);
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"route_batch\",\n"
+       << "  \"topology\": \"abilene\",\n"
+       << "  \"nodes\": " << g.node_count() << ",\n"
+       << "  \"links\": " << g.edge_count() << ",\n"
+       << "  \"flows\": " << flows.size() << ",\n"
+       << "  \"failed_links\": " << network.failure_count() << ",\n"
+       << "  \"repetitions\": " << repetitions << ",\n"
+       << "  \"results\": [";
+
+  const std::vector<analysis::NamedFactory> measured = {suite.spf(), suite.pr(),
+                                                        suite.fcp()};
+  bool first = true;
+  for (const auto& factory : measured) {
+    const auto proto = factory.make(network);
+
+    const double per_packet =
+        best_ns_per_flow(repetitions, flows.size(), [&]() -> std::uint64_t {
+          std::uint64_t delivered = 0;
+          for (const auto& flow : flows) {
+            delivered += net::route_packet(network, *proto, flow.source,
+                                           flow.destination)
+                             .delivered();
+          }
+          return delivered;
+        });
+
+    sim::BatchResult batch;  // reused: steady-state allocation-free routing
+    const double batch_stats =
+        best_ns_per_flow(repetitions, flows.size(), [&]() -> std::uint64_t {
+          sim::route_batch(network, *proto, flows, sim::TraceMode::kStats, batch);
+          return batch.delivered_count();
+        });
+
+    sim::BatchResult traced;
+    const double batch_traced =
+        best_ns_per_flow(repetitions, flows.size(), [&]() -> std::uint64_t {
+          sim::route_batch(network, *proto, flows, sim::TraceMode::kFullTrace, traced);
+          return traced.delivered_count();
+        });
+
+    json << (first ? "" : ",") << "\n    { \"protocol\": \"" << proto->name()
+         << "\",\n      \"per_packet_ns_per_flow\": " << per_packet
+         << ",\n      \"batch_stats_ns_per_flow\": " << batch_stats
+         << ",\n      \"batch_full_trace_ns_per_flow\": " << batch_traced
+         << ",\n      \"speedup_stats_vs_per_packet\": " << per_packet / batch_stats
+         << " }";
+    first = false;
+  }
+  json << "\n  ]\n}\n";
+
+  std::cout << json.str();
+  std::ofstream out("BENCH_route_batch.json");
+  out << json.str();
+  std::cerr << "wrote BENCH_route_batch.json\n";
+  return 0;
+}

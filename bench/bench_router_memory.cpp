@@ -11,6 +11,7 @@
 #include "analysis/protocols.hpp"
 #include "net/failure_model.hpp"
 #include "route/fcp.hpp"
+#include "sim/forwarding_engine.hpp"
 #include "topo/topologies.hpp"
 
 int main() {
@@ -54,14 +55,12 @@ int main() {
             << "approx bytes (n * 12 per table)\n";
   for (const auto& [name, g] : topologies) {
     route::FcpRouting fcp(g);
+    const auto flows = sim::all_pairs_flows(g);
+    sim::BatchResult batch;
     for (const auto& failures : net::all_single_failures(g)) {
       net::Network network(g);
       for (auto e : failures.elements()) network.fail_link(e);
-      for (graph::NodeId s = 0; s < g.node_count(); ++s) {
-        for (graph::NodeId t = 0; t < g.node_count(); ++t) {
-          if (s != t) (void)net::route_packet(network, fcp, s, t);
-        }
-      }
+      sim::route_batch(network, fcp, flows, sim::TraceMode::kStats, batch);
     }
     const std::size_t bytes = fcp.cached_tables() * g.node_count() * 12;
     std::cout << std::left << std::setw(12) << name << std::setw(14)

@@ -50,7 +50,10 @@ int main() {
     for (std::size_t i = 0; i < trace.nodes.size(); ++i) {
       std::cout << (i ? " -> " : "") << g.display_name(trace.nodes[i]);
     }
-    std::cout << (trace.delivered() ? "" : "  [DROPPED]") << "\n\n";
+    if (!trace.delivered()) {
+      std::cout << "  [DROPPED: " << net::drop_reason_name(trace.drop_reason) << "]";
+    }
+    std::cout << "\n\n";
   };
 
   {

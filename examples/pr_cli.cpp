@@ -15,6 +15,7 @@
 #include "analysis/protocols.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/graphio.hpp"
+#include "sim/forwarding_engine.hpp"
 #include "topo/topologies.hpp"
 
 namespace {
@@ -143,31 +144,27 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
     } else {
-      std::cout << "DROPPED\n";
+      std::cout << "DROPPED (" << net::drop_reason_name(trace.drop_reason) << ")\n";
     }
   }
 
   if (summary) {
-    std::size_t delivered = 0;
-    std::size_t dropped = 0;
+    // One stats-only batch over all ordered pairs: the sweep runs through the
+    // shared forwarding engine without per-packet trace allocations.
+    const auto flows = sim::all_pairs_flows(g);
+    const auto sweep_proto = factory.make(network);
+    const auto batch = sim::route_batch(network, *sweep_proto, flows);
     double worst = 0;
-    for (graph::NodeId s = 0; s < g.node_count(); ++s) {
-      for (graph::NodeId t = 0; t < g.node_count(); ++t) {
-        if (s == t) continue;
-        const auto fresh = factory.make(network);
-        const auto trace = net::route_packet(network, *fresh, s, t);
-        if (trace.delivered()) {
-          ++delivered;
-          if (suite.routes().reachable(s, t)) {
-            worst = std::max(worst, trace.cost / suite.routes().cost(s, t));
-          }
-        } else {
-          ++dropped;
-        }
+    for (std::size_t f = 0; f < batch.size(); ++f) {
+      if (batch[f].delivered() &&
+          suite.routes().reachable(flows[f].source, flows[f].destination)) {
+        worst = std::max(worst, batch[f].cost / suite.routes().cost(
+                                                    flows[f].source,
+                                                    flows[f].destination));
       }
     }
-    std::cout << "\nall-pairs: " << delivered << " delivered, " << dropped
-              << " dropped, worst stretch " << worst << "\n";
+    std::cout << "\nall-pairs: " << batch.delivered_count() << " delivered, "
+              << batch.dropped_count() << " dropped, worst stretch " << worst << "\n";
   }
   return 0;
 }

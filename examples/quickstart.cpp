@@ -18,13 +18,8 @@
 namespace {
 
 void print_trace(const pr::graph::Graph& g, const pr::net::PathTrace& trace) {
-  std::cout << "  route:";
-  for (pr::graph::NodeId v : trace.nodes) std::cout << " " << g.display_name(v);
-  if (trace.delivered()) {
-    std::cout << "  (delivered, " << trace.hops << " hops, cost " << trace.cost << ")\n";
-  } else {
-    std::cout << "  (DROPPED)\n";
-  }
+  // Shared renderer: includes hops/cost and, for drops, the DropReason name.
+  std::cout << "  route: " << pr::net::trace_to_string(g, trace) << "\n";
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "graph/connectivity.hpp"
+#include "sim/forwarding_engine.hpp"
 
 namespace pr::analysis {
 
@@ -22,29 +23,39 @@ CoverageResult run_coverage_experiment(const graph::Graph& g,
     result.protocols.push_back(ProtocolCoverage{p.name, 0, 0, 0});
   }
 
+  // Reused across scenarios and protocols: once warm, a sweep allocates
+  // nothing per trial.
+  std::vector<sim::FlowSpec> flows;
+  std::vector<char> recoverable;
+  sim::BatchResult batch;
+
   for (const auto& failures : scenarios) {
     net::Network network(g);
     for (graph::EdgeId e : failures.elements()) network.fail_link(e);
     const auto components = graph::connected_components(g, &failures);
 
-    std::vector<std::unique_ptr<net::ForwardingProtocol>> instances;
-    instances.reserve(protocols.size());
-    for (const auto& p : protocols) instances.push_back(p.make(network));
-
+    flows.clear();
+    recoverable.clear();
     for (NodeId s = 0; s < g.node_count(); ++s) {
       for (NodeId t = 0; t < g.node_count(); ++t) {
         if (s == t || !path_affected(pristine, s, t, failures)) continue;
-        const bool recoverable = components[s] == components[t];
-        for (std::size_t i = 0; i < instances.size(); ++i) {
-          const auto trace = net::route_packet(network, *instances[i], s, t);
-          auto& agg = result.protocols[i];
-          if (trace.delivered()) {
-            ++agg.delivered;
-          } else if (recoverable) {
-            ++agg.dropped_reachable;
-          } else {
-            ++agg.dropped_partitioned;
-          }
+        flows.push_back(sim::FlowSpec{s, t});
+        recoverable.push_back(components[s] == components[t] ? 1 : 0);
+      }
+    }
+    if (flows.empty()) continue;
+
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      const auto instance = protocols[i].make(network);
+      sim::route_batch(network, *instance, flows, sim::TraceMode::kStats, batch);
+      auto& agg = result.protocols[i];
+      for (std::size_t f = 0; f < batch.size(); ++f) {
+        if (batch[f].delivered()) {
+          ++agg.delivered;
+        } else if (recoverable[f] != 0) {
+          ++agg.dropped_reachable;
+        } else {
+          ++agg.dropped_partitioned;
         }
       }
     }

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sim/forwarding_engine.hpp"
+
 namespace pr::analysis {
 
 using graph::NodeId;
@@ -29,10 +31,9 @@ std::vector<double> ccdf(std::span<const double> samples, std::span<const double
 bool path_affected(const route::RoutingDb& routes, NodeId s, NodeId t,
                    const graph::EdgeSet& failures) {
   if (s == t || !routes.reachable(s, t)) return false;
-  const auto& tree = routes.tree(t);
   NodeId v = s;
   while (v != t) {
-    const graph::DartId d = tree.next_dart[v];
+    const graph::DartId d = routes.next_dart(v, t);
     if (failures.contains(graph::dart_edge(d))) return true;
     v = routes.graph().dart_head(d);
   }
@@ -72,31 +73,41 @@ StretchExperimentResult run_stretch_experiment(
   for (const auto& p : protocols) result.protocols.push_back(ProtocolStretch{p.name, {}, 0, 0});
   result.scenarios = scenarios.size();
 
+  // Reused across scenarios and protocols: once warm, a sweep allocates
+  // nothing per trial (the point of the stats-only batched engine).
+  std::vector<sim::FlowSpec> flows;
+  std::vector<double> base_costs;
+  sim::BatchResult batch;
+
   for (const auto& failures : scenarios) {
     net::Network network(g);
     for (graph::EdgeId e : failures.elements()) network.fail_link(e);
 
-    // Fresh protocol instances see this scenario's link state at build time
-    // (ReconvergedRouting computes its post-convergence tables here).
-    std::vector<std::unique_ptr<net::ForwardingProtocol>> instances;
-    instances.reserve(protocols.size());
-    for (const auto& p : protocols) instances.push_back(p.make(network));
-
+    flows.clear();
+    base_costs.clear();
     for (NodeId s = 0; s < g.node_count(); ++s) {
       for (NodeId t = 0; t < g.node_count(); ++t) {
         if (s == t || !path_affected(pristine, s, t, failures)) continue;
-        ++result.affected_pairs;
-        const double base_cost = pristine.cost(s, t);
-        for (std::size_t i = 0; i < instances.size(); ++i) {
-          const auto trace = net::route_packet(network, *instances[i], s, t);
-          auto& agg = result.protocols[i];
-          if (trace.delivered()) {
-            ++agg.delivered;
-            agg.stretches.push_back(trace.cost / base_cost);
-          } else {
-            ++agg.dropped;
-            agg.stretches.push_back(std::numeric_limits<double>::infinity());
-          }
+        flows.push_back(sim::FlowSpec{s, t});
+        base_costs.push_back(pristine.cost(s, t));
+      }
+    }
+    result.affected_pairs += flows.size();
+    if (flows.empty()) continue;
+
+    // Fresh protocol instances see this scenario's link state at build time
+    // (ReconvergedRouting computes its post-convergence tables here).
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      const auto instance = protocols[i].make(network);
+      sim::route_batch(network, *instance, flows, sim::TraceMode::kStats, batch);
+      auto& agg = result.protocols[i];
+      for (std::size_t f = 0; f < batch.size(); ++f) {
+        if (batch[f].delivered()) {
+          ++agg.delivered;
+          agg.stretches.push_back(batch[f].cost / base_costs[f]);
+        } else {
+          ++agg.dropped;
+          agg.stretches.push_back(std::numeric_limits<double>::infinity());
         }
       }
     }

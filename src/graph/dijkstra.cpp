@@ -58,16 +58,6 @@ ShortestPathTree shortest_paths_to(const Graph& g, NodeId destination,
   return spt;
 }
 
-std::vector<ShortestPathTree> all_shortest_path_trees(const Graph& g,
-                                                      const EdgeSet* excluded) {
-  std::vector<ShortestPathTree> trees;
-  trees.reserve(g.node_count());
-  for (NodeId t = 0; t < g.node_count(); ++t) {
-    trees.push_back(shortest_paths_to(g, t, excluded));
-  }
-  return trees;
-}
-
 std::vector<NodeId> extract_path(const Graph& g, const ShortestPathTree& spt,
                                  NodeId source) {
   std::vector<NodeId> nodes;

@@ -38,10 +38,6 @@ inline constexpr Weight kUnreachable = std::numeric_limits<Weight>::infinity();
 [[nodiscard]] ShortestPathTree shortest_paths_to(const Graph& g, NodeId destination,
                                                  const EdgeSet* excluded = nullptr);
 
-/// All-destinations convenience: one tree per node (index = destination id).
-[[nodiscard]] std::vector<ShortestPathTree> all_shortest_path_trees(
-    const Graph& g, const EdgeSet* excluded = nullptr);
-
 /// Follows `next_dart` from `source`; returns the node sequence
 /// source, ..., destination (empty if unreachable; single element if source ==
 /// destination).

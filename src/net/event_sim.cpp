@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "net/queueing.hpp"
+#include "sim/forwarding_engine.hpp"
 
 namespace pr::net {
 
@@ -36,80 +37,52 @@ void Simulator::run(SimTime limit) {
 namespace {
 
 // Per-flight state kept alive by shared_ptr captured in the event closures.
+// The forwarding semantics live in the shared hop core (sim::ForwardingEngine);
+// this file only adds wall-clock scheduling and transmit queueing on top.
 struct Flight {
-  const Network* net;
-  ForwardingProtocol* protocol;
+  sim::ForwardingEngine engine;
   QueueModel* queues = nullptr;
-  Packet packet;
+  sim::FlowState state;
   PathTrace trace;
-  NodeId at;
-  DartId arrived_over = graph::kInvalidDart;
   FlightCallback done;
+
+  Flight(const Network& net, ForwardingProtocol& protocol) : engine(net, protocol) {}
 };
 
+void finish(const std::shared_ptr<Flight>& fl, DeliveryStatus status, DropReason reason) {
+  fl->trace.status = status;
+  fl->trace.drop_reason = reason;
+  fl->trace.cost = fl->state.cost;
+  fl->trace.hops = fl->state.hops;
+  fl->trace.final_packet = fl->state.packet;
+  fl->done(fl->trace);
+}
+
 void step(Simulator& sim, const std::shared_ptr<Flight>& fl) {
-  const Graph& g = fl->net->graph();
-  if (fl->at == fl->packet.destination) {
-    fl->trace.status = DeliveryStatus::kDelivered;
-    fl->trace.final_packet = fl->packet;
-    fl->done(fl->trace);
+  const Network& net = fl->engine.network();
+  const sim::HopDecision decision = fl->engine.decide(fl->state);
+  if (decision.kind == sim::HopDecision::Kind::kDelivered) {
+    finish(fl, DeliveryStatus::kDelivered, DropReason::kNone);
     return;
   }
-  if (fl->packet.ttl == 0) {
-    fl->trace.status = DeliveryStatus::kDropped;
-    fl->trace.drop_reason = DropReason::kTtlExpired;
-    fl->trace.final_packet = fl->packet;
-    fl->done(fl->trace);
+  if (decision.kind == sim::HopDecision::Kind::kDropped) {
+    finish(fl, DeliveryStatus::kDropped, decision.reason);
     return;
-  }
-  const ForwardingDecision decision =
-      fl->protocol->forward(*fl->net, fl->at, fl->arrived_over, fl->packet);
-  switch (decision.action) {
-    case ForwardingDecision::Action::kDeliver:
-      if (fl->at != fl->packet.destination) {
-        throw std::logic_error("launch_packet: protocol delivered away from destination");
-      }
-      fl->trace.status = DeliveryStatus::kDelivered;
-      fl->trace.final_packet = fl->packet;
-      fl->done(fl->trace);
-      return;
-    case ForwardingDecision::Action::kDrop:
-      fl->trace.status = DeliveryStatus::kDropped;
-      fl->trace.drop_reason = decision.reason;
-      fl->trace.final_packet = fl->packet;
-      fl->done(fl->trace);
-      return;
-    case ForwardingDecision::Action::kForward:
-      break;
   }
   const DartId out = decision.out_dart;
-  if (out == graph::kInvalidDart || g.dart_tail(out) != fl->at) {
-    throw std::logic_error("launch_packet: protocol forwarded from the wrong node");
-  }
-  if (!fl->net->dart_usable(out)) {
-    throw std::logic_error("launch_packet: protocol forwarded over a failed link");
-  }
   const graph::EdgeId e = graph::dart_edge(out);
-  SimTime departure_delay = fl->net->processing_delay();
+  SimTime departure_delay = net.processing_delay();
   if (fl->queues != nullptr) {
     const auto tx_done = fl->queues->enqueue(out, sim.now() + departure_delay);
     if (!tx_done.has_value()) {
-      fl->trace.status = DeliveryStatus::kDropped;
-      fl->trace.drop_reason = DropReason::kCongestion;
-      fl->trace.final_packet = fl->packet;
-      fl->done(fl->trace);
+      finish(fl, DeliveryStatus::kDropped, DropReason::kCongestion);
       return;
     }
     departure_delay = *tx_done - sim.now();
   }
-  fl->trace.cost += g.edge_weight(e);
-  ++fl->trace.hops;
-  --fl->packet.ttl;
-  fl->at = g.dart_head(out);
-  fl->arrived_over = out;
-  fl->trace.nodes.push_back(fl->at);
-  sim.after(departure_delay + fl->net->link_delay(e),
-            [&sim, fl]() { step(sim, fl); });
+  fl->engine.commit(fl->state, out);
+  fl->trace.nodes.push_back(fl->state.at);
+  sim.after(departure_delay + net.link_delay(e), [&sim, fl]() { step(sim, fl); });
 }
 
 }  // namespace
@@ -121,14 +94,9 @@ void launch_packet(Simulator& sim, const Network& net, ForwardingProtocol& proto
   if (source >= g.node_count() || destination >= g.node_count()) {
     throw std::out_of_range("launch_packet: endpoint out of range");
   }
-  auto fl = std::make_shared<Flight>();
-  fl->net = &net;
-  fl->protocol = &protocol;
+  auto fl = std::make_shared<Flight>(net, protocol);
   fl->queues = queues;
-  fl->packet.source = source;
-  fl->packet.destination = destination;
-  fl->packet.ttl = ttl == 0 ? default_ttl(g) : ttl;
-  fl->at = source;
+  fl->state.reset(source, destination, ttl == 0 ? default_ttl(g) : ttl);
   fl->trace.nodes.push_back(source);
   fl->done = std::move(done);
   sim.at(start, [&sim, fl]() { step(sim, fl); });

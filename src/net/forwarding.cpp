@@ -3,7 +3,25 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/forwarding_engine.hpp"
+
 namespace pr::net {
+
+std::string_view drop_reason_name(DropReason r) noexcept {
+  switch (r) {
+    case DropReason::kNone:
+      return "none";
+    case DropReason::kNoRoute:
+      return "no-route";
+    case DropReason::kTtlExpired:
+      return "ttl-expired";
+    case DropReason::kPolicy:
+      return "policy";
+    case DropReason::kCongestion:
+      return "congestion";
+  }
+  return "unknown";
+}
 
 std::string trace_to_string(const Graph& g, const PathTrace& trace) {
   std::ostringstream out;
@@ -13,7 +31,8 @@ std::string trace_to_string(const Graph& g, const PathTrace& trace) {
   if (trace.delivered()) {
     out << " (delivered, " << trace.hops << " hops, cost " << trace.cost << ")";
   } else {
-    out << " (DROPPED after " << trace.hops << " hops)";
+    out << " (DROPPED after " << trace.hops
+        << " hops: " << drop_reason_name(trace.drop_reason) << ")";
   }
   return out.str();
 }
@@ -22,6 +41,9 @@ std::uint32_t default_ttl(const Graph& g) noexcept {
   return static_cast<std::uint32_t>(4 * g.edge_count() + 16);
 }
 
+// Thin shim over the shared hop core (sim::ForwardingEngine); kept for API
+// compatibility and for callers that want the full per-packet PathTrace
+// including the final header state.
 PathTrace route_packet(const Network& net, ForwardingProtocol& protocol, NodeId source,
                        NodeId destination, std::uint32_t ttl,
                        std::uint8_t traffic_class) {
@@ -31,59 +53,20 @@ PathTrace route_packet(const Network& net, ForwardingProtocol& protocol, NodeId 
   }
   if (ttl == 0) ttl = default_ttl(g);
 
-  Packet packet;
-  packet.source = source;
-  packet.destination = destination;
-  packet.ttl = ttl;
-  packet.traffic_class = traffic_class;
+  const sim::ForwardingEngine engine(net, protocol);
+  sim::FlowState fs;
+  fs.reset(source, destination, ttl, traffic_class);
 
   PathTrace trace;
   trace.nodes.push_back(source);
+  const sim::FlowOutcome outcome =
+      engine.run(fs, [&trace](NodeId v) { trace.nodes.push_back(v); });
 
-  NodeId at = source;
-  DartId arrived_over = graph::kInvalidDart;
-
-  while (true) {
-    if (at == destination) {
-      trace.status = DeliveryStatus::kDelivered;
-      break;
-    }
-    if (packet.ttl == 0) {
-      trace.status = DeliveryStatus::kDropped;
-      trace.drop_reason = DropReason::kTtlExpired;
-      break;
-    }
-    const ForwardingDecision decision = protocol.forward(net, at, arrived_over, packet);
-    if (decision.action == ForwardingDecision::Action::kDeliver) {
-      // Protocols may only deliver at the destination.
-      if (at != destination) {
-        throw std::logic_error("route_packet: protocol delivered away from destination");
-      }
-      trace.status = DeliveryStatus::kDelivered;
-      break;
-    }
-    if (decision.action == ForwardingDecision::Action::kDrop) {
-      trace.status = DeliveryStatus::kDropped;
-      trace.drop_reason = decision.reason;
-      break;
-    }
-    const DartId out = decision.out_dart;
-    if (out == graph::kInvalidDart || g.dart_tail(out) != at) {
-      throw std::logic_error("route_packet: protocol forwarded from the wrong node");
-    }
-    if (!net.dart_usable(out)) {
-      throw std::logic_error("route_packet: protocol forwarded over a failed link (" +
-                             g.dart_name(out) + ")");
-    }
-    trace.cost += g.edge_weight(graph::dart_edge(out));
-    ++trace.hops;
-    --packet.ttl;
-    at = g.dart_head(out);
-    arrived_over = out;
-    trace.nodes.push_back(at);
-  }
-
-  trace.final_packet = std::move(packet);
+  trace.status = outcome.status;
+  trace.drop_reason = outcome.reason;
+  trace.cost = fs.cost;
+  trace.hops = fs.hops;
+  trace.final_packet = std::move(fs.packet);
   return trace;
 }
 

@@ -89,8 +89,13 @@ struct PathTrace {
 /// never hit it while broken ones terminate.
 [[nodiscard]] std::uint32_t default_ttl(const Graph& g) noexcept;
 
+/// Stable lowercase name of a drop reason ("ttl-expired", "no-route", ...),
+/// shared by trace rendering, the CLI and the examples.
+[[nodiscard]] std::string_view drop_reason_name(DropReason r) noexcept;
+
 /// "Seattle > Denver > KansasCity (delivered, 2 hops, cost 2)" rendering,
-/// shared by the examples and the CLI.
+/// shared by the examples and the CLI.  Dropped packets include the reason:
+/// "... (DROPPED after 3 hops: ttl-expired)".
 [[nodiscard]] std::string trace_to_string(const Graph& g, const PathTrace& trace);
 
 /// Drives one packet from `source` to `destination` under `protocol`.

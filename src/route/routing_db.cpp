@@ -7,7 +7,20 @@ namespace pr::route {
 
 RoutingDb::RoutingDb(const Graph& g, const graph::EdgeSet* excluded,
                      DiscriminatorKind kind)
-    : graph_(&g), kind_(kind), trees_(graph::all_shortest_path_trees(g, excluded)) {
+    : graph_(&g), kind_(kind), node_count_(g.node_count()) {
+  next_dart_.resize(node_count_ * node_count_);
+  dist_.resize(node_count_ * node_count_);
+  hops_.resize(node_count_ * node_count_);
+  for (NodeId dest = 0; dest < node_count_; ++dest) {
+    // Flatten each tree into the contiguous columns, then discard it.
+    const graph::ShortestPathTree tree = graph::shortest_paths_to(g, dest, excluded);
+    const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
+    for (NodeId at = 0; at < node_count_; ++at) {
+      next_dart_[base + at] = tree.next_dart[at];
+      dist_[base + at] = tree.dist[at];
+      hops_[base + at] = tree.hops[at];
+    }
+  }
   if (kind_ == DiscriminatorKind::kWeightedCost) {
     // Weighted discriminators ride in an integer header field; require the
     // configured weights to be integral so encoding is exact.
@@ -22,19 +35,18 @@ RoutingDb::RoutingDb(const Graph& g, const graph::EdgeSet* excluded,
 }
 
 std::uint32_t RoutingDb::discriminator(NodeId at, NodeId dest) const {
-  const auto& tree = trees_.at(dest);
-  if (!tree.reachable(at)) {
+  if (!reachable(at, dest)) {
     throw std::logic_error("RoutingDb::discriminator: destination unreachable");
   }
-  if (kind_ == DiscriminatorKind::kHops) return tree.hops[at];
-  return static_cast<std::uint32_t>(std::llround(tree.dist[at]));
+  if (kind_ == DiscriminatorKind::kHops) return hops(at, dest);
+  return static_cast<std::uint32_t>(std::llround(cost(at, dest)));
 }
 
 std::uint32_t RoutingDb::max_discriminator() const {
   std::uint32_t best = 0;
   for (NodeId dest = 0; dest < graph_->node_count(); ++dest) {
     for (NodeId at = 0; at < graph_->node_count(); ++at) {
-      if (trees_[dest].reachable(at)) {
+      if (reachable(at, dest)) {
         best = std::max(best, discriminator(at, dest));
       }
     }

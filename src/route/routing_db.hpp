@@ -28,8 +28,10 @@ enum class DiscriminatorKind : std::uint8_t {
 
 /// All-destinations routing database computed over a graph, optionally minus
 /// an excluded (failed) edge set.  Conceptually one routing table per router;
-/// stored destination-major for cache friendliness, with per-router
-/// memory accounting for the E9 bench.
+/// the hot lookup columns (next dart / cost / hops) are flattened into single
+/// contiguous destination-major arrays so the forwarding engine's inner loop
+/// touches one cache line per lookup instead of chasing a per-destination
+/// vector-of-vectors.  Per-router memory accounting feeds the E9 bench.
 class RoutingDb {
  public:
   RoutingDb(const Graph& g, const graph::EdgeSet* excluded = nullptr,
@@ -38,19 +40,19 @@ class RoutingDb {
   /// First dart of `at`'s shortest path toward `dest`; kInvalidDart when
   /// at == dest or dest is unreachable.
   [[nodiscard]] DartId next_dart(NodeId at, NodeId dest) const {
-    return trees_[dest].next_dart[at];
+    return next_dart_[flat_index(at, dest)];
   }
 
   [[nodiscard]] bool reachable(NodeId at, NodeId dest) const {
-    return trees_[dest].reachable(at);
+    return dist_[flat_index(at, dest)] != graph::kUnreachable;
   }
 
   [[nodiscard]] Weight cost(NodeId at, NodeId dest) const {
-    return trees_[dest].dist[at];
+    return dist_[flat_index(at, dest)];
   }
 
   [[nodiscard]] std::uint32_t hops(NodeId at, NodeId dest) const {
-    return trees_[dest].hops[at];
+    return hops_[flat_index(at, dest)];
   }
 
   /// The distance discriminator from `at` to `dest` under the configured
@@ -69,15 +71,19 @@ class RoutingDb {
   /// only PR-specific addition, mirroring the paper's memory argument.
   [[nodiscard]] std::size_t memory_bytes_per_router() const noexcept;
 
-  /// Underlying tree for a destination (used by analysis code).
-  [[nodiscard]] const graph::ShortestPathTree& tree(NodeId dest) const {
-    return trees_[dest];
+ private:
+  [[nodiscard]] std::size_t flat_index(NodeId at, NodeId dest) const noexcept {
+    return static_cast<std::size_t>(dest) * node_count_ + at;
   }
 
- private:
   const Graph* graph_;
   DiscriminatorKind kind_;
-  std::vector<graph::ShortestPathTree> trees_;
+  std::size_t node_count_ = 0;
+  // The per-destination trees, flattened into contiguous destination-major
+  // columns (index dest * node_count + at); the only storage the DB keeps.
+  std::vector<DartId> next_dart_;
+  std::vector<Weight> dist_;
+  std::vector<std::uint32_t> hops_;
 };
 
 }  // namespace pr::route

@@ -1,0 +1,105 @@
+#include "sim/forwarding_engine.hpp"
+
+#include <stdexcept>
+
+namespace pr::sim {
+
+HopDecision ForwardingEngine::decide(FlowState& fs) const {
+  const graph::Graph& g = net_->graph();
+  if (fs.at == fs.packet.destination) {
+    return {HopDecision::Kind::kDelivered, graph::kInvalidDart, DropReason::kNone};
+  }
+  if (fs.packet.ttl == 0) {
+    return {HopDecision::Kind::kDropped, graph::kInvalidDart, DropReason::kTtlExpired};
+  }
+  const net::ForwardingDecision decision =
+      protocol_->forward(*net_, fs.at, fs.arrived_over, fs.packet);
+  switch (decision.action) {
+    case net::ForwardingDecision::Action::kDeliver:
+      // Protocols may only deliver at the destination.
+      if (fs.at != fs.packet.destination) {
+        throw std::logic_error(
+            "ForwardingEngine: protocol delivered away from destination");
+      }
+      return {HopDecision::Kind::kDelivered, graph::kInvalidDart, DropReason::kNone};
+    case net::ForwardingDecision::Action::kDrop:
+      return {HopDecision::Kind::kDropped, graph::kInvalidDart, decision.reason};
+    case net::ForwardingDecision::Action::kForward:
+      break;
+  }
+  const DartId out = decision.out_dart;
+  if (out == graph::kInvalidDart || g.dart_tail(out) != fs.at) {
+    throw std::logic_error("ForwardingEngine: protocol forwarded from the wrong node");
+  }
+  if (!net_->dart_usable(out)) {
+    throw std::logic_error("ForwardingEngine: protocol forwarded over a failed link (" +
+                           g.dart_name(out) + ")");
+  }
+  return {HopDecision::Kind::kForward, out, DropReason::kNone};
+}
+
+void ForwardingEngine::commit(FlowState& fs, DartId out) const {
+  const graph::Graph& g = net_->graph();
+  fs.cost += g.edge_weight(graph::dart_edge(out));
+  ++fs.hops;
+  --fs.packet.ttl;
+  fs.at = g.dart_head(out);
+  fs.arrived_over = out;
+}
+
+std::vector<FlowSpec> all_pairs_flows(const graph::Graph& g) {
+  std::vector<FlowSpec> flows;
+  if (g.node_count() < 2) return flows;
+  flows.reserve(g.node_count() * (g.node_count() - 1));
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s != t) flows.push_back(FlowSpec{s, t});
+    }
+  }
+  return flows;
+}
+
+void route_batch(const Network& net, ForwardingProtocol& protocol,
+                 std::span<const FlowSpec> flows, TraceMode mode, BatchResult& out) {
+  const graph::Graph& g = net.graph();
+  for (const FlowSpec& flow : flows) {
+    if (flow.source >= g.node_count() || flow.destination >= g.node_count()) {
+      throw std::out_of_range("route_batch: endpoint out of range");
+    }
+  }
+  const std::uint32_t fallback_ttl = net::default_ttl(g);
+
+  out.clear();
+  out.mode_ = mode;
+  out.stats_.reserve(flows.size());
+  if (mode == TraceMode::kFullTrace) out.offsets_.reserve(flows.size() + 1);
+
+  const ForwardingEngine engine(net, protocol);
+  FlowState fs;  // recycled across flows; FCP-list capacity survives reset()
+  for (const FlowSpec& flow : flows) {
+    fs.reset(flow.source, flow.destination,
+             flow.ttl == 0 ? fallback_ttl : flow.ttl, flow.traffic_class);
+
+    FlowOutcome outcome;
+    if (mode == TraceMode::kFullTrace) {
+      out.offsets_.push_back(out.nodes_.size());
+      out.nodes_.push_back(flow.source);
+      outcome = engine.run(fs, [&out](NodeId v) { out.nodes_.push_back(v); });
+    } else {
+      outcome = engine.run(fs);
+    }
+
+    out.stats_.push_back(FlowStats{outcome.status, outcome.reason, fs.hops, fs.cost});
+    if (outcome.status == DeliveryStatus::kDelivered) ++out.delivered_;
+  }
+  if (mode == TraceMode::kFullTrace) out.offsets_.push_back(out.nodes_.size());
+}
+
+BatchResult route_batch(const Network& net, ForwardingProtocol& protocol,
+                        std::span<const FlowSpec> flows, TraceMode mode) {
+  BatchResult out;
+  route_batch(net, protocol, flows, mode, out);
+  return out;
+}
+
+}  // namespace pr::sim

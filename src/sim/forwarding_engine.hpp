@@ -1,0 +1,221 @@
+// The allocation-free simulation core shared by every way of pushing packets
+// through the library.
+//
+// Exactly one place implements the hop semantics -- terminal checks (delivery,
+// TTL), the protocol decision, the forwarding-contract validation, and the
+// cost/hop accounting: ForwardingEngine.  Three front-ends drive it:
+//
+//   * net::route_packet      -- the legacy synchronous single-packet walker,
+//                               now a thin shim (net/forwarding.cpp);
+//   * sim::route_batch       -- routes many flows with preallocated, reusable
+//                               buffers; its stats-only mode never touches the
+//                               heap per flow, which is what the coverage and
+//                               stretch sweeps (millions of trials) need;
+//   * net::launch_packet     -- the discrete-event simulator, which interleaves
+//                               the same decide/commit steps with timing and
+//                               queueing (net/event_sim.cpp).
+//
+// Because all three call decide()/commit(), a timed flight and a synchronous
+// walk of the same flow can never disagree on status, hops or cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/forwarding.hpp"
+#include "net/network.hpp"
+
+namespace pr::sim {
+
+using graph::DartId;
+using graph::NodeId;
+using net::DeliveryStatus;
+using net::DropReason;
+using net::ForwardingProtocol;
+using net::Network;
+using net::Packet;
+
+/// Where a flow currently stands; the engine advances it hop by hop.
+/// reset() recycles the contained Packet (keeping its FCP-list capacity), so
+/// one FlowState can serve an arbitrarily long batch without reallocating.
+struct FlowState {
+  Packet packet;
+  NodeId at = graph::kInvalidNode;
+  DartId arrived_over = graph::kInvalidDart;
+  double cost = 0.0;
+  std::uint32_t hops = 0;
+
+  void reset(NodeId source, NodeId destination, std::uint32_t ttl,
+             std::uint8_t traffic_class = 0) {
+    packet.source = source;
+    packet.destination = destination;
+    packet.pr_bit = false;
+    packet.dd = 0;
+    packet.fcp_failures.clear();  // keeps capacity for the next flow
+    packet.ttl = ttl;
+    packet.traffic_class = traffic_class;
+    packet.id = 0;
+    at = source;
+    arrived_over = graph::kInvalidDart;
+    cost = 0.0;
+    hops = 0;
+  }
+};
+
+/// Outcome of one ForwardingEngine::decide() call.
+struct HopDecision {
+  enum class Kind : std::uint8_t { kForward, kDelivered, kDropped };
+  Kind kind = Kind::kDropped;
+  /// Valid when kind == kForward; already contract-checked (leaves the current
+  /// node over a link that is up).
+  DartId out_dart = graph::kInvalidDart;
+  /// Valid when kind == kDropped.
+  DropReason reason = DropReason::kNone;
+};
+
+/// Terminal status of a completed flow.
+struct FlowOutcome {
+  DeliveryStatus status = DeliveryStatus::kDropped;
+  DropReason reason = DropReason::kNone;
+};
+
+/// The single hop-execution core.  Cheap to construct (two pointers); holds no
+/// per-flow state, so one engine can drive any number of concurrent flows.
+class ForwardingEngine {
+ public:
+  /// Both referents must outlive the engine.
+  ForwardingEngine(const Network& net, ForwardingProtocol& protocol) noexcept
+      : net_(&net), protocol_(&protocol) {}
+
+  /// Terminal checks + protocol decision + forwarding-contract validation for
+  /// the next hop of `fs`.  May mutate the packet header (PR/DD bits, FCP
+  /// list) but does not advance the flow; call commit() on a kForward result
+  /// to take the hop.  Throws std::logic_error when the protocol violates the
+  /// forwarding contract (delivers away from the destination, forwards from
+  /// the wrong node, or forwards over a failed link).
+  [[nodiscard]] HopDecision decide(FlowState& fs) const;
+
+  /// Takes the hop chosen by decide(): cost/hop/TTL accounting, then moves the
+  /// flow across `out`.
+  void commit(FlowState& fs, DartId out) const;
+
+  /// Runs `fs` to completion synchronously.  `on_visit` is invoked with each
+  /// node the flow moves to (the source is already in `fs`, so it is not
+  /// reported).  Statically dispatched so stats-only sweeps pay nothing for
+  /// the hook.
+  template <typename NodeSink>
+  FlowOutcome run(FlowState& fs, NodeSink&& on_visit) const {
+    while (true) {
+      const HopDecision d = decide(fs);
+      if (d.kind == HopDecision::Kind::kDelivered) {
+        return {DeliveryStatus::kDelivered, DropReason::kNone};
+      }
+      if (d.kind == HopDecision::Kind::kDropped) {
+        return {DeliveryStatus::kDropped, d.reason};
+      }
+      commit(fs, d.out_dart);
+      on_visit(fs.at);
+    }
+  }
+
+  FlowOutcome run(FlowState& fs) const {
+    return run(fs, [](NodeId) {});
+  }
+
+  [[nodiscard]] const Network& network() const noexcept { return *net_; }
+  [[nodiscard]] ForwardingProtocol& protocol() const noexcept { return *protocol_; }
+
+ private:
+  const Network* net_;
+  ForwardingProtocol* protocol_;
+};
+
+/// How much per-flow evidence route_batch keeps.
+enum class TraceMode : std::uint8_t {
+  kStats,      ///< delivery status / drop reason / hops / cost only; no per-flow
+               ///< heap traffic at all once the result buffers are warm
+  kFullTrace,  ///< additionally record every flow's node sequence (flattened)
+};
+
+/// One (source, destination) trial of a sweep.
+struct FlowSpec {
+  NodeId source = graph::kInvalidNode;
+  NodeId destination = graph::kInvalidNode;
+  std::uint32_t ttl = 0;  ///< 0 selects net::default_ttl()
+  std::uint8_t traffic_class = 0;
+};
+
+/// What one flow experienced (the stats-mode subset of net::PathTrace).
+struct FlowStats {
+  DeliveryStatus status = DeliveryStatus::kDropped;
+  DropReason drop_reason = DropReason::kNone;
+  std::uint32_t hops = 0;
+  double cost = 0.0;
+
+  [[nodiscard]] bool delivered() const noexcept {
+    return status == DeliveryStatus::kDelivered;
+  }
+};
+
+/// Results of a route_batch call.  All storage is flat and reusable: pass the
+/// same BatchResult to successive calls and, once warm, routing allocates
+/// nothing.
+class BatchResult {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return stats_.size(); }
+  [[nodiscard]] std::span<const FlowStats> stats() const noexcept { return stats_; }
+  [[nodiscard]] const FlowStats& operator[](std::size_t flow) const {
+    return stats_.at(flow);
+  }
+
+  [[nodiscard]] TraceMode mode() const noexcept { return mode_; }
+  [[nodiscard]] std::size_t delivered_count() const noexcept { return delivered_; }
+  [[nodiscard]] std::size_t dropped_count() const noexcept {
+    return stats_.size() - delivered_;
+  }
+
+  /// Node sequence of flow `flow` (source first).  Empty in stats mode.
+  [[nodiscard]] std::span<const NodeId> nodes(std::size_t flow) const {
+    if (mode_ == TraceMode::kStats) return {};
+    return std::span<const NodeId>(nodes_).subspan(
+        offsets_.at(flow), offsets_.at(flow + 1) - offsets_.at(flow));
+  }
+
+  /// Empties the result but keeps every buffer's capacity.
+  void clear() noexcept {
+    stats_.clear();
+    nodes_.clear();
+    offsets_.clear();
+    delivered_ = 0;
+  }
+
+ private:
+  friend void route_batch(const Network&, ForwardingProtocol&,
+                          std::span<const FlowSpec>, TraceMode, BatchResult&);
+
+  std::vector<FlowStats> stats_;
+  std::vector<NodeId> nodes_;         // full-trace mode: all sequences, flattened
+  std::vector<std::size_t> offsets_;  // full-trace mode: size()+1 fenceposts
+  std::size_t delivered_ = 0;
+  TraceMode mode_ = TraceMode::kStats;
+};
+
+/// All ordered (source, destination) pairs of `g` -- the standard sweep
+/// work-list used by the CLI summary, the coverage benches and the parity
+/// tests.
+[[nodiscard]] std::vector<FlowSpec> all_pairs_flows(const graph::Graph& g);
+
+/// Routes every flow of `flows` under `protocol`, in order, reusing one
+/// FlowState throughout.  Flows see the protocol instance sequentially, so a
+/// stateful protocol (e.g. FCP's SPF cache) behaves exactly as if the legacy
+/// route_packet had been called once per flow.  Throws std::out_of_range if
+/// any endpoint is not a node of the network's graph.
+void route_batch(const Network& net, ForwardingProtocol& protocol,
+                 std::span<const FlowSpec> flows, TraceMode mode, BatchResult& out);
+
+[[nodiscard]] BatchResult route_batch(const Network& net, ForwardingProtocol& protocol,
+                                      std::span<const FlowSpec> flows,
+                                      TraceMode mode = TraceMode::kStats);
+
+}  // namespace pr::sim

@@ -125,11 +125,10 @@ TEST(PathCost, SumsWeights) {
 
 TEST(AllTrees, OneTreePerDestination) {
   const Graph g = ring(5);
-  const auto trees = all_shortest_path_trees(g);
-  ASSERT_EQ(trees.size(), 5U);
   for (NodeId t = 0; t < 5; ++t) {
-    EXPECT_EQ(trees[t].destination, t);
-    EXPECT_DOUBLE_EQ(trees[t].dist[t], 0.0);
+    const auto tree = shortest_paths_to(g, t);
+    EXPECT_EQ(tree.destination, t);
+    EXPECT_DOUBLE_EQ(tree.dist[t], 0.0);
   }
 }
 

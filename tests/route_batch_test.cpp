@@ -1,0 +1,211 @@
+// Parity suite for the batched forwarding engine (sim/forwarding_engine.hpp).
+//
+// The engine is only allowed to be fast, not different: for every protocol,
+// topology and failure set, route_batch must report bit-identical delivery
+// status, drop reason, hop count, cost and (in full-trace mode) node sequence
+// to the legacy synchronous walker, and the event simulator must agree with
+// both because all three share the same hop core.
+#include "sim/forwarding_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/protocols.hpp"
+#include "graph/generators.hpp"
+#include "graph/rng.hpp"
+#include "net/event_sim.hpp"
+#include "net/failure_model.hpp"
+#include "topo/topologies.hpp"
+
+namespace pr {
+namespace {
+
+using sim::BatchResult;
+using sim::FlowSpec;
+using sim::TraceMode;
+
+/// Every protocol the library ships, built over `suite`.
+std::vector<analysis::NamedFactory> all_protocols(const analysis::ProtocolSuite& suite) {
+  return {suite.spf(),          suite.reconvergence(), suite.fcp(),
+          suite.lfa(),          suite.pr(),            suite.pr_single_bit()};
+}
+
+std::vector<FlowSpec> all_ordered_pairs(const graph::Graph& g) {
+  return sim::all_pairs_flows(g);
+}
+
+/// Routes `flows` with the legacy walker and with route_batch (both trace
+/// modes), asserting identical outcomes flow by flow.
+void expect_parity(const net::Network& network, const analysis::NamedFactory& factory,
+                   const std::vector<FlowSpec>& flows) {
+  // Each side gets its own fresh instance and sees the flows in the same
+  // order, so even stateful protocols (FCP's SPF cache) are comparable.
+  const auto legacy_proto = factory.make(network);
+  std::vector<net::PathTrace> legacy;
+  legacy.reserve(flows.size());
+  for (const auto& flow : flows) {
+    legacy.push_back(
+        net::route_packet(network, *legacy_proto, flow.source, flow.destination));
+  }
+
+  const auto stats_proto = factory.make(network);
+  const BatchResult stats = sim::route_batch(network, *stats_proto, flows);
+  const auto traced_proto = factory.make(network);
+  const BatchResult traced =
+      sim::route_batch(network, *traced_proto, flows, TraceMode::kFullTrace);
+
+  ASSERT_EQ(stats.size(), flows.size());
+  ASSERT_EQ(traced.size(), flows.size());
+  std::size_t delivered = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    SCOPED_TRACE("protocol " + factory.name + ", flow " + std::to_string(f) + " (" +
+                 std::to_string(flows[f].source) + " -> " +
+                 std::to_string(flows[f].destination) + ")");
+    for (const BatchResult* batch : {&stats, &traced}) {
+      EXPECT_EQ((*batch)[f].status, legacy[f].status);
+      EXPECT_EQ((*batch)[f].drop_reason, legacy[f].drop_reason);
+      EXPECT_EQ((*batch)[f].hops, legacy[f].hops);
+      EXPECT_DOUBLE_EQ((*batch)[f].cost, legacy[f].cost);
+    }
+    EXPECT_TRUE(stats.nodes(f).empty());  // stats mode records no sequences
+    const auto nodes = traced.nodes(f);
+    ASSERT_EQ(nodes.size(), legacy[f].nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      EXPECT_EQ(nodes[i], legacy[f].nodes[i]);
+    }
+    if (legacy[f].delivered()) ++delivered;
+  }
+  EXPECT_EQ(stats.delivered_count(), delivered);
+  EXPECT_EQ(stats.dropped_count(), flows.size() - delivered);
+  EXPECT_EQ(traced.delivered_count(), delivered);
+}
+
+TEST(RouteBatchParity, AbileneAllProtocolsAcrossFailureSets) {
+  const graph::Graph g = topo::abilene();
+  const analysis::ProtocolSuite suite(g);
+  const auto flows = all_ordered_pairs(g);
+
+  graph::Rng rng(0xBA7C4);
+  for (std::size_t failures : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    net::Network network(g);
+    for (std::size_t k = 0; k < failures; ++k) {
+      network.fail_link(static_cast<graph::EdgeId>(rng.below(g.edge_count())));
+    }
+    for (const auto& factory : all_protocols(suite)) {
+      expect_parity(network, factory, flows);
+    }
+  }
+}
+
+TEST(RouteBatchParity, RandomTopologiesWithArbitraryFailures) {
+  graph::Rng rng(0x5EED);
+  for (int round = 0; round < 4; ++round) {
+    const auto n = static_cast<std::size_t>(8 + 2 * round);
+    const graph::Graph g = graph::random_two_edge_connected(n, n / 2, rng);
+    const analysis::ProtocolSuite suite(g);
+    const auto flows = all_ordered_pairs(g);
+
+    // Arbitrary failure sets -- possibly disconnecting, so drop parity
+    // (status AND reason) is exercised, not just the happy path.
+    net::Network network(g);
+    const std::size_t failures = 1 + rng.below(3);
+    for (std::size_t k = 0; k < failures; ++k) {
+      network.fail_link(static_cast<graph::EdgeId>(rng.below(g.edge_count())));
+    }
+    for (const auto& factory : all_protocols(suite)) {
+      expect_parity(network, factory, flows);
+    }
+  }
+}
+
+TEST(RouteBatchParity, EventSimulatorAgreesWithSharedCore) {
+  // With static link state, a timed flight must land exactly where the
+  // synchronous walk does: same status, hops, cost and node sequence.
+  const graph::Graph g = topo::abilene();
+  const analysis::ProtocolSuite suite(g);
+  net::Network network(g);
+  network.fail_link(0);
+  network.fail_link(3);
+
+  for (const auto& factory : all_protocols(suite)) {
+    const auto sync_proto = factory.make(network);
+    const auto timed_proto = factory.make(network);
+    for (graph::NodeId s = 0; s < g.node_count(); ++s) {
+      for (graph::NodeId t = 0; t < g.node_count(); ++t) {
+        if (s == t) continue;
+        const auto expected = net::route_packet(network, *sync_proto, s, t);
+        net::Simulator sim_driver;
+        bool completed = false;
+        net::launch_packet(sim_driver, network, *timed_proto, s, t, /*start=*/0.0,
+                           [&](const net::PathTrace& trace) {
+                             completed = true;
+                             EXPECT_EQ(trace.status, expected.status);
+                             EXPECT_EQ(trace.drop_reason, expected.drop_reason);
+                             EXPECT_EQ(trace.hops, expected.hops);
+                             EXPECT_DOUBLE_EQ(trace.cost, expected.cost);
+                             EXPECT_EQ(trace.nodes, expected.nodes);
+                           });
+        sim_driver.run();
+        EXPECT_TRUE(completed) << factory.name << " " << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(RouteBatch, ReusedResultBufferIsEquivalent) {
+  const graph::Graph g = topo::abilene();
+  const analysis::ProtocolSuite suite(g);
+  net::Network network(g);
+  const auto flows = all_ordered_pairs(g);
+
+  BatchResult reused;
+  const auto first_proto = suite.pr().make(network);
+  sim::route_batch(network, *first_proto, flows, TraceMode::kFullTrace, reused);
+  const std::size_t first_delivered = reused.delivered_count();
+
+  network.fail_link(2);
+  const auto second_proto = suite.pr().make(network);
+  sim::route_batch(network, *second_proto, flows, TraceMode::kStats, reused);
+  EXPECT_EQ(reused.size(), flows.size());
+  EXPECT_EQ(reused.mode(), TraceMode::kStats);
+  EXPECT_TRUE(reused.nodes(0).empty());
+
+  network.restore_link(2);
+  const auto third_proto = suite.pr().make(network);
+  sim::route_batch(network, *third_proto, flows, TraceMode::kStats, reused);
+  EXPECT_EQ(reused.delivered_count(), first_delivered);
+}
+
+TEST(RouteBatch, RejectsOutOfRangeEndpoints) {
+  const graph::Graph g = topo::abilene();
+  const analysis::ProtocolSuite suite(g);
+  const net::Network network(g);
+  const auto proto = suite.spf().make(network);
+  const std::vector<FlowSpec> flows{FlowSpec{0, static_cast<graph::NodeId>(999)}};
+  EXPECT_THROW((void)sim::route_batch(network, *proto, flows), std::out_of_range);
+}
+
+TEST(TraceRendering, DroppedTracesNameTheReason) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const route::RoutingDb routes(g);
+  route::StaticSpf spf(routes);
+  net::Network network(g);
+  network.fail_link(0);
+
+  const auto trace = net::route_packet(network, spf, 0, 2);
+  EXPECT_FALSE(trace.delivered());
+  const auto text = net::trace_to_string(g, trace);
+  EXPECT_NE(text.find("DROPPED"), std::string::npos);
+  EXPECT_NE(text.find(net::drop_reason_name(trace.drop_reason)), std::string::npos);
+
+  EXPECT_EQ(net::drop_reason_name(net::DropReason::kNoRoute), "no-route");
+  EXPECT_EQ(net::drop_reason_name(net::DropReason::kTtlExpired), "ttl-expired");
+  EXPECT_EQ(net::drop_reason_name(net::DropReason::kPolicy), "policy");
+  EXPECT_EQ(net::drop_reason_name(net::DropReason::kCongestion), "congestion");
+}
+
+}  // namespace
+}  // namespace pr
