@@ -13,12 +13,15 @@
 #include "analysis/protocols.hpp"
 #include "analysis/report.hpp"
 #include "net/failure_model.hpp"
+#include "sim/parallel_sweep.hpp"
 #include "topo/topologies.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pr;
   const std::uint64_t seed = 0xC0FE;
   const std::size_t scenarios_per_k = 150;
+  const std::size_t threads = sim::threads_from_arg(argc, argv, 1);
+  sim::SweepExecutor executor(threads);
 
   for (const auto& [name, g] :
        {std::pair{"abilene", topo::abilene()}, {"geant", topo::geant()}}) {
@@ -34,7 +37,8 @@ int main() {
       if (k >= g.edge_count() / 2) continue;
       graph::Rng rng(seed + k);
       const auto scenarios = net::sample_any_failures(g, k, scenarios_per_k, rng);
-      const auto result = analysis::run_coverage_experiment(g, scenarios, protocols);
+      const auto result =
+          analysis::run_coverage_experiment(g, scenarios, protocols, executor);
       std::cout << "\n-- " << k << " simultaneous failure(s) --\n"
                 << analysis::format_coverage_report(result);
     }

@@ -2,11 +2,12 @@
 #include "figure2_common.hpp"
 #include "topo/topologies.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   const auto g = pr::topo::abilene();
   pr::bench::PanelConfig cfg;
   cfg.panel = "Figure 2(d)";
   cfg.topology = "Abilene";
   cfg.failures = 4;
+  cfg.threads = pr::bench::panel_threads(argc, argv);
   return pr::bench::run_figure2_panel(g, cfg);
 }

@@ -15,6 +15,7 @@
 #include "analysis/report.hpp"
 #include "graph/connectivity.hpp"
 #include "net/failure_model.hpp"
+#include "sim/parallel_sweep.hpp"
 
 namespace pr::bench {
 
@@ -24,7 +25,14 @@ struct PanelConfig {
   std::size_t failures = 1;
   std::size_t scenarios = 300;  ///< ignored for single failures (enumerated)
   std::uint64_t seed = 0xF16;
+  std::size_t threads = 0;  ///< sweep shards; 0 = one per hardware thread
 };
+
+/// Panel binaries take `<binary> [threads]`, validated by the shared helper
+/// (falls back to PR_SWEEP_THREADS; 0 = hardware).
+inline std::size_t panel_threads(int argc, char** argv) {
+  return sim::threads_from_arg(argc, argv, 1);
+}
 
 inline int run_figure2_panel(const graph::Graph& g, const PanelConfig& cfg) {
   std::cout << cfg.panel << ": " << cfg.topology << " with " << cfg.failures
@@ -66,7 +74,13 @@ inline int run_figure2_panel(const graph::Graph& g, const PanelConfig& cfg) {
   }
   std::cout << "\n";
 
-  const auto result = analysis::run_stretch_experiment(g, scenarios, suite.paper_trio());
+  // The scenario enumeration above is the work list; shard it across the
+  // sweep executor (per-scenario units, canonical-order merge, so the output
+  // matches the serial path bit for bit at any thread count).
+  sim::SweepExecutor executor(cfg.threads);
+  std::cout << "sweep: " << executor.thread_count() << " thread(s)\n\n";
+  const auto result =
+      analysis::run_stretch_experiment(g, scenarios, suite.paper_trio(), executor);
   std::cout << analysis::format_stretch_report(result, analysis::paper_stretch_axis());
 
   for (const auto& p : result.protocols) {

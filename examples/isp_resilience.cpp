@@ -1,16 +1,20 @@
 // ISP resilience report: runs the paper's protocol comparison on one of the
 // bundled backbone topologies and prints a per-link vulnerability summary.
+// Both sweeps are sharded across the parallel sweep executor; output is
+// identical for every thread count.
 //
-//   $ ./isp_resilience [abilene|geant|teleglobe]
+//   $ ./isp_resilience [abilene|geant|teleglobe] [threads]
+#include <algorithm>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/protocols.hpp"
 #include "analysis/report.hpp"
 #include "graph/connectivity.hpp"
 #include "net/failure_model.hpp"
-#include "sim/forwarding_engine.hpp"
+#include "sim/parallel_sweep.hpp"
 #include "topo/topologies.hpp"
 
 int main(int argc, char** argv) {
@@ -25,9 +29,10 @@ int main(int argc, char** argv) {
   } else if (which == "teleglobe") {
     g = topo::teleglobe();
   } else {
-    std::cerr << "usage: isp_resilience [abilene|geant|teleglobe]\n";
+    std::cerr << "usage: isp_resilience [abilene|geant|teleglobe] [threads]\n";
     return 1;
   }
+  const std::size_t threads = sim::threads_from_arg(argc, argv, 2);
 
   std::cout << which << ": " << g.node_count() << " nodes, " << g.edge_count()
             << " links, 2-edge-connected=" << std::boolalpha
@@ -36,59 +41,73 @@ int main(int argc, char** argv) {
   const analysis::ProtocolSuite suite(g);
   std::cout << "embedding: genus " << suite.embedding().genus << ", "
             << suite.embedding().faces.face_count() << " cycles, PR-safe="
-            << suite.embedding().supports_pr() << "\n\n";
+            << suite.embedding().supports_pr() << "\n";
+
+  sim::SweepExecutor executor(threads);
+  std::cout << "sweep: " << executor.thread_count() << " thread(s)\n\n";
 
   // Overall Figure-2-style comparison across all single link failures.
   const auto scenarios = net::all_single_failures(g);
-  const auto result = analysis::run_stretch_experiment(g, scenarios, suite.paper_trio());
+  const auto result =
+      analysis::run_stretch_experiment(g, scenarios, suite.paper_trio(), executor);
   std::cout << analysis::format_stretch_report(result, analysis::paper_stretch_axis())
             << "\n";
 
   // Per-link vulnerability: how much stretch does each failure cost PR?
-  // Driven straight through the batched engine against the suite's pristine
-  // tables -- one stats-only batch per failed link, reusing all buffers.
-  std::cout << "Per-link impact under Packet Re-cycling:\n";
-  std::cout << std::left << std::setw(28) << "failed link" << std::setw(16)
-            << "affected pairs" << std::setw(14) << "mean stretch"
-            << "max stretch\n";
-  std::vector<sim::FlowSpec> flows;
-  std::vector<double> base_costs;
-  sim::BatchResult batch;
-  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+  // One work unit per failed link, driven through the batched engine with the
+  // worker's reusable buffers; rows land in per-link slots and print in link
+  // order, so the table is the same whatever the thread count.
+  struct LinkRow {
+    std::size_t affected = 0;
+    double mean = 0;
+    double worst = 0;
+  };
+  std::vector<LinkRow> rows(g.edge_count());
+  executor.run(g.edge_count(), [&](std::size_t unit, sim::WorkerContext& ctx) {
+    const auto e = static_cast<graph::EdgeId>(unit);
     graph::EdgeSet failures(g.edge_count());
     failures.insert(e);
-    flows.clear();
-    base_costs.clear();
+    ctx.flows.clear();
+    ctx.base_costs.clear();
     for (graph::NodeId s = 0; s < g.node_count(); ++s) {
       for (graph::NodeId t = 0; t < g.node_count(); ++t) {
         if (s == t || !analysis::path_affected(suite.routes(), s, t, failures)) {
           continue;
         }
-        flows.push_back(sim::FlowSpec{s, t});
-        base_costs.push_back(suite.routes().cost(s, t));
+        ctx.flows.push_back(sim::FlowSpec{s, t});
+        ctx.base_costs.push_back(suite.routes().cost(s, t));
       }
     }
 
     net::Network network(g);
     network.fail_link(e);
     const auto pr_proto = suite.pr().make(network);
-    sim::route_batch(network, *pr_proto, flows, sim::TraceMode::kStats, batch);
+    sim::route_batch(network, *pr_proto, ctx.flows, sim::TraceMode::kStats, ctx.batch);
 
     double sum = 0;
     double worst = 0;
     std::size_t finite = 0;
-    for (std::size_t f = 0; f < batch.size(); ++f) {
-      if (!batch[f].delivered()) continue;
-      const double stretch = batch[f].cost / base_costs[f];
+    for (std::size_t f = 0; f < ctx.batch.size(); ++f) {
+      if (!ctx.batch[f].delivered()) continue;
+      const double stretch = ctx.batch[f].cost / ctx.base_costs[f];
       sum += stretch;
       worst = std::max(worst, stretch);
       ++finite;
     }
+    rows[unit] = LinkRow{ctx.flows.size(),
+                         finite ? sum / static_cast<double>(finite) : 0.0, worst};
+  });
+
+  std::cout << "Per-link impact under Packet Re-cycling:\n";
+  std::cout << std::left << std::setw(28) << "failed link" << std::setw(16)
+            << "affected pairs" << std::setw(14) << "mean stretch"
+            << "max stretch\n";
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
     const std::string link =
         g.display_name(g.edge_u(e)) + "-" + g.display_name(g.edge_v(e));
-    std::cout << std::left << std::setw(28) << link << std::setw(16) << flows.size()
-              << std::setw(14) << std::fixed << std::setprecision(3)
-              << (finite ? sum / static_cast<double>(finite) : 0.0) << worst << "\n";
+    std::cout << std::left << std::setw(28) << link << std::setw(16)
+              << rows[e].affected << std::setw(14) << std::fixed
+              << std::setprecision(3) << rows[e].mean << rows[e].worst << "\n";
   }
   return 0;
 }

@@ -29,11 +29,28 @@ struct ProtocolCoverage {
     return delivered + dropped_reachable + dropped_partitioned;
   }
   /// Fraction of *recoverable* packets delivered (partitioned pairs excluded).
+  ///
+  /// Pinned corner semantics (regression-tested, always NaN-free): the
+  /// vacuous 1.0 is reserved for genuinely empty sweeps -- nothing routed at
+  /// all.  A sweep that routed traffic but had zero recoverable packets
+  /// (every drop was a partition) reports 0.0: it delivered nothing, and
+  /// advertising 100% coverage for a blackout would be misleading even when
+  /// no scheme could have done better.
   [[nodiscard]] double coverage() const noexcept {
     const std::size_t recoverable = delivered + dropped_reachable;
-    return recoverable == 0 ? 1.0
-                            : static_cast<double>(delivered) /
-                                  static_cast<double>(recoverable);
+    if (recoverable > 0) {
+      return static_cast<double>(delivered) / static_cast<double>(recoverable);
+    }
+    return total() == 0 ? 1.0 : 0.0;
+  }
+
+  /// Accumulates another shard's counts (same protocol); counters are
+  /// order-insensitive, but parallel sweeps still merge in canonical shard
+  /// order to honour the executor's determinism contract.
+  void merge(const ProtocolCoverage& other) noexcept {
+    delivered += other.delivered;
+    dropped_reachable += other.dropped_reachable;
+    dropped_partitioned += other.dropped_partitioned;
   }
 };
 
@@ -44,9 +61,18 @@ struct CoverageResult {
 
 /// Routes every affected ordered pair of every scenario under every protocol
 /// and classifies the outcomes.  Unlike the stretch experiment, scenarios may
-/// disconnect the graph.
+/// disconnect the graph.  This is the serial reference path; the executor
+/// overload below is bit-identical to it.
 [[nodiscard]] CoverageResult run_coverage_experiment(
     const graph::Graph& g, std::span<const graph::EdgeSet> scenarios,
     const std::vector<NamedFactory>& protocols);
+
+/// Parallel sharded variant: scenarios are work units on `executor`, each
+/// classified with the worker's reusable batch buffers; per-shard
+/// ProtocolCoverage accumulators merge in canonical scenario order.  Counts
+/// are identical to the serial overload for every thread count.
+[[nodiscard]] CoverageResult run_coverage_experiment(
+    const graph::Graph& g, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor);
 
 }  // namespace pr::analysis

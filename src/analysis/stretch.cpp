@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "sim/forwarding_engine.hpp"
+#include "sim/parallel_sweep.hpp"
 
 namespace pr::analysis {
 
@@ -60,6 +61,27 @@ double ProtocolStretch::mean_finite_stretch() const {
   return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
+namespace {
+
+/// Flow list of one scenario in the canonical (s, t) order every sweep uses:
+/// all ordered pairs whose pristine path crosses a failed edge.
+void collect_affected_flows(const graph::Graph& g, const route::RoutingDb& pristine,
+                            const graph::EdgeSet& failures,
+                            std::vector<sim::FlowSpec>& flows,
+                            std::vector<double>& base_costs) {
+  flows.clear();
+  base_costs.clear();
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s == t || !path_affected(pristine, s, t, failures)) continue;
+      flows.push_back(sim::FlowSpec{s, t});
+      base_costs.push_back(pristine.cost(s, t));
+    }
+  }
+}
+
+}  // namespace
+
 StretchExperimentResult run_stretch_experiment(
     const graph::Graph& g, std::span<const graph::EdgeSet> scenarios,
     const std::vector<NamedFactory>& protocols) {
@@ -83,15 +105,7 @@ StretchExperimentResult run_stretch_experiment(
     net::Network network(g);
     for (graph::EdgeId e : failures.elements()) network.fail_link(e);
 
-    flows.clear();
-    base_costs.clear();
-    for (NodeId s = 0; s < g.node_count(); ++s) {
-      for (NodeId t = 0; t < g.node_count(); ++t) {
-        if (s == t || !path_affected(pristine, s, t, failures)) continue;
-        flows.push_back(sim::FlowSpec{s, t});
-        base_costs.push_back(pristine.cost(s, t));
-      }
-    }
+    collect_affected_flows(g, pristine, failures, flows, base_costs);
     result.affected_pairs += flows.size();
     if (flows.empty()) continue;
 
@@ -110,6 +124,81 @@ StretchExperimentResult run_stretch_experiment(
           agg.stretches.push_back(std::numeric_limits<double>::infinity());
         }
       }
+    }
+  }
+  return result;
+}
+
+StretchExperimentResult run_stretch_experiment(
+    const graph::Graph& g, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor) {
+  if (protocols.empty()) {
+    throw std::invalid_argument("run_stretch_experiment: no protocols given");
+  }
+  const route::RoutingDb pristine(g);
+
+  // One slot per scenario, written by exactly one worker each; stretch
+  // samples land here in the serial sweep's per-scenario order.
+  struct ScenarioPartial {
+    std::size_t affected = 0;
+    std::vector<std::size_t> delivered;          // per protocol
+    std::vector<std::vector<double>> stretches;  // per protocol, in flow order
+  };
+  std::vector<ScenarioPartial> partials(scenarios.size());
+
+  executor.run(scenarios.size(), [&](std::size_t unit, sim::WorkerContext& ctx) {
+    const graph::EdgeSet& failures = scenarios[unit];
+    net::Network network(g);
+    for (graph::EdgeId e : failures.elements()) network.fail_link(e);
+
+    collect_affected_flows(g, pristine, failures, ctx.flows, ctx.base_costs);
+    ScenarioPartial& partial = partials[unit];
+    partial.affected = ctx.flows.size();
+    partial.delivered.assign(protocols.size(), 0);
+    partial.stretches.resize(protocols.size());
+    if (ctx.flows.empty()) return;
+
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      const auto instance = protocols[i].make(network);
+      sim::route_batch(network, *instance, ctx.flows, sim::TraceMode::kStats,
+                       ctx.batch);
+      auto& samples = partial.stretches[i];
+      samples.reserve(ctx.batch.size());
+      for (std::size_t f = 0; f < ctx.batch.size(); ++f) {
+        if (ctx.batch[f].delivered()) {
+          ++partial.delivered[i];
+          samples.push_back(ctx.batch[f].cost / ctx.base_costs[f]);
+        } else {
+          samples.push_back(std::numeric_limits<double>::infinity());
+        }
+      }
+    }
+  });
+
+  // Canonical-order merge: concatenating per-scenario samples in scenario
+  // order reproduces the serial sweep's sample sequence exactly.
+  StretchExperimentResult result;
+  result.scenarios = scenarios.size();
+  result.protocols.reserve(protocols.size());
+  for (const auto& p : protocols) result.protocols.push_back(ProtocolStretch{p.name, {}, 0, 0});
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    std::size_t samples = 0;
+    for (const ScenarioPartial& partial : partials) {
+      if (i < partial.stretches.size()) samples += partial.stretches[i].size();
+    }
+    result.protocols[i].stretches.reserve(samples);
+  }
+  for (ScenarioPartial& partial : partials) {
+    result.affected_pairs += partial.affected;
+    for (std::size_t i = 0; i < partial.stretches.size(); ++i) {
+      auto& agg = result.protocols[i];
+      agg.delivered += partial.delivered[i];
+      agg.dropped += partial.stretches[i].size() - partial.delivered[i];
+      agg.stretches.insert(agg.stretches.end(), partial.stretches[i].begin(),
+                           partial.stretches[i].end());
+      // Release each shard as it merges so peak memory tracks the serial
+      // sweep instead of holding a second full copy of the sample set.
+      std::vector<double>().swap(partial.stretches[i]);
     }
   }
   return result;

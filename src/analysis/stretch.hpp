@@ -17,6 +17,10 @@
 #include "net/forwarding.hpp"
 #include "route/routing_db.hpp"
 
+namespace pr::sim {
+class SweepExecutor;
+}  // namespace pr::sim
+
 namespace pr::analysis {
 
 /// Empirical complementary CDF of `samples` evaluated at each x in `xs`:
@@ -60,9 +64,18 @@ struct StretchExperimentResult {
 
 /// Runs every protocol over every failure scenario and every affected ordered
 /// source/destination pair, measuring the cost of the route each packet
-/// actually travelled against the pristine shortest-path cost.
+/// actually travelled against the pristine shortest-path cost.  This is the
+/// serial reference path; the executor overload below is bit-identical to it.
 [[nodiscard]] StretchExperimentResult run_stretch_experiment(
     const graph::Graph& g, std::span<const graph::EdgeSet> scenarios,
     const std::vector<NamedFactory>& protocols);
+
+/// Parallel sharded variant: scenarios are work units on `executor`, each
+/// routed with the worker's reusable batch buffers and merged in canonical
+/// scenario order.  Results (counts, stretch samples and their order) are
+/// bit-identical to the serial overload for every thread count.
+[[nodiscard]] StretchExperimentResult run_stretch_experiment(
+    const graph::Graph& g, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor);
 
 }  // namespace pr::analysis

@@ -1,0 +1,175 @@
+#include "sim/parallel_sweep.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace pr::sim {
+
+bool parse_count_arg(const char* raw, std::size_t max_value, std::size_t& out) {
+  if (raw == nullptr || *raw == '\0' || *raw == '-' || *raw == '+') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE) return false;
+  if (parsed > max_value) return false;
+  out = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+std::uint64_t split_seed(std::uint64_t seed, std::uint64_t stream) {
+  // splitmix64 (Steele et al.), the standard generator-splitting finaliser:
+  // one pass over seed + golden-ratio-spaced stream index.
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t threads_from_env(std::size_t fallback) {
+  std::size_t parsed = 0;
+  if (!parse_count_arg(std::getenv("PR_SWEEP_THREADS"), kMaxSweepThreads, parsed)) {
+    return fallback;
+  }
+  return parsed;
+}
+
+std::size_t threads_from_arg(int argc, char** argv, int index, std::size_t fallback) {
+  if (index <= 0 || index >= argc) return threads_from_env(fallback);
+  std::size_t parsed = 0;
+  if (!parse_count_arg(argv[index], kMaxSweepThreads, parsed)) {
+    throw std::invalid_argument(
+        "thread count must be a decimal in [0, " +
+        std::to_string(kMaxSweepThreads) + "], got \"" + argv[index] + "\"");
+  }
+  return parsed;
+}
+
+struct SweepExecutor::Impl {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable job_done;
+  std::vector<std::thread> workers;
+
+  // Current job, guarded by `mutex` except for the unit cursor.
+  const UnitFn* fn = nullptr;
+  std::size_t unit_count = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t generation = 0;  // bumped per run(); wakes the pool
+  std::size_t idle_workers = 0;  // workers finished with the current job
+  std::exception_ptr first_error;
+  bool job_active = false;  // run() admits one caller at a time
+  bool stopping = false;
+
+  std::atomic<std::size_t> next_unit{0};
+
+  void worker_main(std::size_t worker_index) {
+    WorkerContext ctx;
+    ctx.worker_ = worker_index;
+    std::uint64_t seen_generation = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] { return stopping || generation != seen_generation; });
+        if (stopping) return;
+        seen_generation = generation;
+      }
+      while (true) {
+        const std::size_t unit = next_unit.fetch_add(1, std::memory_order_relaxed);
+        if (unit >= unit_count) break;
+        ctx.rng_ = graph::Rng(split_seed(seed, unit));
+        try {
+          (*fn)(unit, ctx);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!first_error) first_error = std::current_exception();
+          // Abandon the remaining units; workers drain out of the loop.
+          next_unit.store(unit_count, std::memory_order_relaxed);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (++idle_workers == workers.size()) job_done.notify_all();
+      }
+    }
+  }
+};
+
+SweepExecutor::SweepExecutor(std::size_t threads) {
+  if (threads > kMaxSweepThreads) {
+    throw std::invalid_argument("SweepExecutor: " + std::to_string(threads) +
+                                " threads exceeds kMaxSweepThreads (" +
+                                std::to_string(kMaxSweepThreads) + ")");
+  }
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  impl_ = std::make_unique<Impl>();
+  impl_->idle_workers = threads;  // no job yet; everyone counts as finished
+  impl_->workers.reserve(threads);
+  try {
+    for (std::size_t w = 0; w < threads; ++w) {
+      impl_->workers.emplace_back([this, w] { impl_->worker_main(w); });
+    }
+  } catch (...) {
+    // A spawn failed partway (e.g. RLIMIT_NPROC): stop and join the workers
+    // that did start, so unwinding never destroys a joinable std::thread.
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      impl_->stopping = true;
+    }
+    impl_->work_ready.notify_all();
+    for (std::thread& t : impl_->workers) t.join();
+    throw;
+  }
+}
+
+SweepExecutor::~SweepExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+}
+
+std::size_t SweepExecutor::thread_count() const noexcept {
+  return impl_->workers.size();
+}
+
+void SweepExecutor::run(std::size_t unit_count, const UnitFn& fn, std::uint64_t seed) {
+  if (unit_count == 0) return;
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  if (impl_->job_active) {
+    throw std::logic_error(
+        "SweepExecutor::run: executor already driving a job (no reentrant or "
+        "concurrent run() calls; give each driving thread its own executor)");
+  }
+  impl_->job_active = true;
+  impl_->fn = &fn;
+  impl_->unit_count = unit_count;
+  impl_->seed = seed;
+  impl_->next_unit.store(0, std::memory_order_relaxed);
+  impl_->idle_workers = 0;
+  impl_->first_error = nullptr;
+  ++impl_->generation;
+  impl_->work_ready.notify_all();
+  impl_->job_done.wait(lock, [&] { return impl_->idle_workers == impl_->workers.size(); });
+  impl_->fn = nullptr;
+  impl_->job_active = false;
+  if (impl_->first_error) {
+    std::exception_ptr error = impl_->first_error;
+    impl_->first_error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace pr::sim

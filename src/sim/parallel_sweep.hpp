@@ -1,0 +1,156 @@
+// Parallel sharded sweep execution on top of the batched forwarding engine.
+//
+// The paper's guarantee -- zero loss for any failure combination the cycle
+// table covers -- is only demonstrable by enumerating large
+// (scenario x ordered-pair x protocol) spaces.  PR 1 made one sweep
+// allocation-free (sim::route_batch); this layer shards a sweep's work units
+// (a failure scenario plus its affected flow list) across a persistent worker
+// pool so enumeration scales with the hardware.
+//
+// Determinism contract: results are bit-identical for every thread count,
+// including 1, and identical to the serial route_batch path.  Three rules
+// make that hold:
+//   1. a work unit is the atom of scheduling -- all flows of a scenario are
+//      routed by one worker, in the caller's flow order, against protocol
+//      instances built fresh for that unit (exactly what the serial sweeps
+//      in analysis/ do per scenario);
+//   2. randomness comes from per-unit streams split off the caller's seed
+//      (split_seed), never from a per-thread or shared generator, so a unit
+//      draws the same numbers no matter which worker runs it;
+//   3. callers write per-unit results into preallocated slots and merge them
+//      in canonical unit order after run() returns -- never in completion
+//      order.  Integer counters are order-insensitive anyway; floating-point
+//      accumulators (costs, stretch sums) are not, which is why the merge
+//      order is part of the contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/rng.hpp"
+#include "sim/forwarding_engine.hpp"
+
+namespace pr::sim {
+
+/// Hard ceiling on pool size -- far above any real machine, so it only ever
+/// trips on caller bugs ("-1" parsed through strtoull, uninitialised config)
+/// before they reach the OS as thousands of thread spawns.
+inline constexpr std::size_t kMaxSweepThreads = 4096;
+
+/// Deterministic stream splitting (splitmix64 over seed ^ f(stream)): the
+/// RNG stream for work unit `stream` of a sweep seeded with `seed`.
+/// Adjacent units get statistically independent streams; the mapping depends
+/// only on (seed, stream), never on thread placement.
+[[nodiscard]] std::uint64_t split_seed(std::uint64_t seed, std::uint64_t stream);
+
+/// Per-worker scratch owned by the pool: one context lives as long as its
+/// worker thread, so the reusable route_batch buffer set keeps the hot loop
+/// allocation-free across every unit the worker executes, across run() calls.
+class WorkerContext {
+ public:
+  /// Reusable sweep buffers (cleared by the unit function, capacity kept).
+  std::vector<FlowSpec> flows;
+  std::vector<double> base_costs;
+  std::vector<char> flags;
+  BatchResult batch;
+
+  /// Per-unit RNG: reseeded to split_seed(run seed, unit) before every unit
+  /// function invocation, so draws depend on the unit, not the worker.
+  [[nodiscard]] graph::Rng& rng() noexcept { return rng_; }
+
+  /// Index of the owning worker in [0, thread_count()); for diagnostics
+  /// only -- results must never depend on it.
+  [[nodiscard]] std::size_t worker() const noexcept { return worker_; }
+
+ private:
+  friend class SweepExecutor;
+  graph::Rng rng_{0};
+  std::size_t worker_ = 0;
+};
+
+/// Persistent worker pool that shards [0, unit_count) across threads.
+/// Construction spawns the workers once; run() reuses them, so repeated
+/// sweeps (a bench's repetitions, a multi-k enumeration) pay no per-call
+/// thread churn.  run() is synchronous and admits ONE caller at a time: it
+/// must not be called reentrantly from inside a unit function, nor
+/// concurrently from two threads sharing the executor (enforced -- the
+/// second caller gets std::logic_error instead of silently corrupted
+/// sharding).  Give each driving thread its own executor instead.
+class SweepExecutor {
+ public:
+  /// Function applied to each work unit.  Runs on a worker thread; touching
+  /// anything other than per-unit slots and the passed context requires the
+  /// caller's own synchronisation.
+  using UnitFn = std::function<void(std::size_t unit, WorkerContext& ctx)>;
+
+  /// `threads` == 0 selects std::thread::hardware_concurrency() (minimum 1).
+  /// Throws std::invalid_argument when threads > kMaxSweepThreads.
+  explicit SweepExecutor(std::size_t threads = 0);
+  ~SweepExecutor();
+
+  SweepExecutor(const SweepExecutor&) = delete;
+  SweepExecutor& operator=(const SweepExecutor&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept;
+
+  /// Applies `fn` to every unit in [0, unit_count), dynamically sharded
+  /// across the pool; returns when all units finished.  `seed` roots the
+  /// per-unit RNG streams.  If any invocation throws, the remaining units
+  /// are abandoned and the first exception is rethrown here.
+  void run(std::size_t unit_count, const UnitFn& fn, std::uint64_t seed = 0);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Thread count requested via the PR_SWEEP_THREADS environment variable, or
+/// `fallback` when unset, unparsable or above kMaxSweepThreads.  0 means
+/// "one per hardware thread"; the benches and examples all honour this so CI
+/// can pin their parallelism.
+[[nodiscard]] std::size_t threads_from_env(std::size_t fallback = 0);
+
+/// Shared CLI handling for every sweep binary: the thread count from
+/// argv[index] when present, else threads_from_env(fallback).  An explicit
+/// argument must be a plain decimal <= kMaxSweepThreads (0 = hardware);
+/// anything else throws std::invalid_argument rather than silently spawning
+/// a surprise pool size.
+[[nodiscard]] std::size_t threads_from_arg(int argc, char** argv, int index,
+                                           std::size_t fallback = 0);
+
+/// Strict decimal parse for CLI counts that size allocations or loops:
+/// rejects signs, suffixes ("x4", "4x"), empty strings, overflow and values
+/// above `max_value`.  Returns false instead of throwing so callers can
+/// print their own usage line.  The thread-count helpers above use the same
+/// rules.
+[[nodiscard]] bool parse_count_arg(const char* raw, std::size_t max_value,
+                                   std::size_t& out);
+
+/// Mergeable reduction of FlowStats over a shard: delivery counts plus hop
+/// and cost totals.  add() in flow order within a shard, merge() in canonical
+/// shard order across shards -- that exact order makes the floating-point
+/// cost total bit-identical to a serial sweep accumulating per shard.
+struct FlowStatsReduction {
+  std::size_t flows = 0;
+  std::size_t delivered = 0;
+  std::uint64_t hops = 0;
+  double cost = 0.0;
+
+  void add(const FlowStats& s) noexcept {
+    ++flows;
+    delivered += s.delivered() ? 1 : 0;
+    hops += s.hops;
+    cost += s.cost;
+  }
+
+  void merge(const FlowStatsReduction& other) noexcept {
+    flows += other.flows;
+    delivered += other.delivered;
+    hops += other.hops;
+    cost += other.cost;
+  }
+};
+
+}  // namespace pr::sim
