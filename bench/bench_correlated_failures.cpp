@@ -17,10 +17,16 @@
 #include "analysis/stats.hpp"
 #include "graph/connectivity.hpp"
 #include "net/failure_model.hpp"
+#include "sim/parallel_sweep.hpp"
 #include "topo/topologies.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pr;
+
+  // `bench_correlated_failures [threads]` (falls back to PR_SWEEP_THREADS;
+  // 0 = hardware); the node-outage and SRLG sweeps shard over the executor.
+  sim::SweepExecutor executor(sim::threads_from_arg(argc, argv, 1));
+  std::cout << "sweep: " << executor.thread_count() << " thread(s)\n\n";
 
   std::cout << "-- Node failures: every router down once, all other pairs --\n\n";
   for (const auto& [name, g] :
@@ -30,11 +36,13 @@ int main() {
     const auto scenarios = net::all_node_failures(g);
     const auto coverage = analysis::run_coverage_experiment(
         g, scenarios,
-        {suite.pr(), suite.lfa(), suite.lfa_node_protecting(), suite.spf()});
+        {suite.pr(), suite.lfa(), suite.lfa_node_protecting(), suite.spf()},
+        executor);
     std::cout << "== " << name << " (" << scenarios.size() << " node outages) ==\n"
               << analysis::format_coverage_report(coverage);
 
-    const auto stretch = analysis::run_stretch_experiment(g, scenarios, {suite.pr()});
+    const auto stretch =
+        analysis::run_stretch_experiment(g, scenarios, {suite.pr()}, executor);
     std::cout << "PR stretch over saved packets: "
               << analysis::to_string(analysis::summarize(stretch.protocols[0].stretches))
               << "\n\n";
@@ -55,10 +63,12 @@ int main() {
       scenarios.push_back(catalog.scenario(i));
     }
     const auto coverage = analysis::run_coverage_experiment(
-        g, scenarios, {suite.pr(), suite.pr_single_bit(), suite.lfa(), suite.spf()});
+        g, scenarios, {suite.pr(), suite.pr_single_bit(), suite.lfa(), suite.spf()},
+        executor);
     std::cout << analysis::format_coverage_report(coverage);
 
-    const auto stretch = analysis::run_stretch_experiment(g, scenarios, {suite.pr()});
+    const auto stretch =
+        analysis::run_stretch_experiment(g, scenarios, {suite.pr()}, executor);
     std::cout << "PR stretch over saved packets: "
               << analysis::to_string(analysis::summarize(stretch.protocols[0].stretches))
               << "\n";

@@ -15,6 +15,7 @@
 #include "net/event_sim.hpp"
 #include "route/igp.hpp"
 #include "route/reconvergence.hpp"
+#include "route/scenario_cache.hpp"
 #include "topo/topologies.hpp"
 
 int main() {
@@ -60,7 +61,11 @@ int main() {
             << " pps, horizon " << kEnd << " s\n";
 
   net::Network reconv_net(g);
-  route::TimedReconvergence reconv_proto(reconv_net, suite.routes());
+  // The convergence-time table swap borrows delta-repaired tables from the
+  // cache (only the trees using the failed link are recomputed) instead of
+  // building a fresh RoutingDb at the convergence instant.
+  route::ScenarioRoutingCache routing_cache;
+  route::TimedReconvergence reconv_proto(reconv_net, suite.routes(), &routing_cache);
   Tally reconv_tally;
   {
     net::Simulator sim;

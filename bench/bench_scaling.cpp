@@ -17,14 +17,21 @@
 #include "graph/dijkstra.hpp"
 #include "net/failure_model.hpp"
 #include "net/header_codec.hpp"
+#include "sim/parallel_sweep.hpp"
 #include "topo/topologies.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pr;
   using Clock = std::chrono::steady_clock;
 
+  // `bench_scaling [threads]` (falls back to PR_SWEEP_THREADS; 0 = hardware):
+  // the per-size stretch sweeps shard over the executor and stay
+  // bit-identical to the serial path at any thread count.
+  sim::SweepExecutor executor(sim::threads_from_arg(argc, argv, 1));
+
   std::cout << "Synthetic two-tier ISPs, 25 sampled single failures per size, "
-               "seed 0xA6\n\n";
+               "seed 0xA6, sweep on "
+            << executor.thread_count() << " thread(s)\n\n";
   std::cout << std::left << std::setw(8) << "nodes" << std::setw(8) << "links"
             << std::setw(7) << "diam" << std::setw(9) << "dd-bits" << std::setw(12)
             << "embed-ms" << std::setw(14) << "tables-bytes" << std::setw(34)
@@ -50,7 +57,7 @@ int main() {
       scenarios = std::move(all);
     }
     const auto result =
-        analysis::run_stretch_experiment(g, scenarios, suite.paper_trio());
+        analysis::run_stretch_experiment(g, scenarios, suite.paper_trio(), executor);
     const auto& pr_res = result.protocols[2];
     const auto summary = analysis::summarize(pr_res.stretches);
 

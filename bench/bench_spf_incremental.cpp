@@ -1,0 +1,241 @@
+// Incremental scenario SPF vs from-scratch routing rebuilds.
+//
+// PR 1 made forwarding allocation-free and PR 2 parallelised scenario
+// enumeration, leaving per-scenario control-plane rebuilds (n full Dijkstras
+// per RoutingDb) as the sweep bottleneck.  This bench measures the delta
+// path that replaced them: per-scenario RoutingDb::rebuild() -- skip every
+// destination tree the failure set does not touch, repair the rest from the
+// orphaned-subtree frontier -- against fresh RoutingDb construction, on the
+// paper topologies plus generated ones, for single- and multi-link failure
+// sets.  Equivalence is asserted (bit-identical tables) before anything is
+// timed.  Also reports the end-to-end effect: a GEANT single-failure
+// paper-trio stretch sweep with fresh per-scenario tables ("before") vs the
+// ScenarioRoutingCache path ("after").
+//
+// Emits BENCH_spf_incremental.json (also printed):
+//
+//   {
+//     "bench": "spf_incremental", "repetitions": R,
+//     "topologies": [ { "name": ..., "nodes": N, "links": M,
+//         "single": { "scenarios": S, "full_ms": ..., "incremental_ms": ...,
+//                     "speedup": ... },
+//         "multi":  { "failures": 3, ... } }, ... ],
+//     "geomean_speedup_single_geant_or_larger": ...,
+//     "fig2_sweep_geant_single": { "fresh_tables_ms": ...,
+//                                  "cached_tables_ms": ..., "speedup": ... }
+//   }
+//
+// Timings are the best of R repetitions.
+//
+//   $ ./bench_spf_incremental [repetitions 1..100] [multi scenarios 1..1000]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/protocols.hpp"
+#include "analysis/stretch.hpp"
+#include "graph/generators.hpp"
+#include "graph/rng.hpp"
+#include "graph/spf_workspace.hpp"
+#include "net/failure_model.hpp"
+#include "route/routing_db.hpp"
+#include "sim/parallel_sweep.hpp"
+#include "topo/topologies.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace pr;
+
+double best_ms(std::size_t repetitions, const std::function<void()>& work) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    const auto start = Clock::now();
+    work();
+    const auto ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
+            .count());
+    best = std::min(best, ns / 1e6);
+  }
+  return best;
+}
+
+void require_identical(const route::RoutingDb& incremental,
+                       const route::RoutingDb& fresh, const std::string& where) {
+  const std::size_t n = incremental.graph().node_count();
+  for (graph::NodeId dest = 0; dest < n; ++dest) {
+    for (graph::NodeId at = 0; at < n; ++at) {
+      if (incremental.next_dart(at, dest) != fresh.next_dart(at, dest) ||
+          incremental.cost(at, dest) != fresh.cost(at, dest) ||
+          incremental.hops(at, dest) != fresh.hops(at, dest)) {
+        throw std::runtime_error("incremental rebuild diverged from scratch: " +
+                                 where);
+      }
+    }
+  }
+}
+
+struct ScenarioSetTiming {
+  std::size_t scenarios = 0;
+  double full_ms = 0;
+  double incremental_ms = 0;
+
+  [[nodiscard]] double speedup() const {
+    return incremental_ms > 0 ? full_ms / incremental_ms : 0.0;
+  }
+};
+
+/// Times one scenario set: fresh RoutingDb per scenario vs in-place rebuild
+/// on a pristine-built db (the cache's steady state).  Verifies bit-identical
+/// tables for every scenario before timing.
+ScenarioSetTiming time_scenarios(const graph::Graph& g,
+                                 const std::vector<graph::EdgeSet>& scenarios,
+                                 std::size_t repetitions) {
+  route::RoutingDb db(g);
+  graph::SpfWorkspace ws;
+  for (const auto& failures : scenarios) {
+    db.rebuild(failures, ws);
+    require_identical(db, route::RoutingDb(g, &failures), "verification pass");
+  }
+
+  ScenarioSetTiming t;
+  t.scenarios = scenarios.size();
+  t.full_ms = best_ms(repetitions, [&] {
+    for (const auto& failures : scenarios) {
+      const route::RoutingDb fresh(g, &failures);
+      // Keep the construction observable.
+      if (fresh.graph().node_count() == 0) throw std::logic_error("empty graph");
+    }
+  });
+  t.incremental_ms = best_ms(repetitions, [&] {
+    for (const auto& failures : scenarios) db.rebuild(failures, ws);
+  });
+  return t;
+}
+
+std::string json_set(const char* key, const ScenarioSetTiming& t,
+                     std::size_t failures) {
+  std::ostringstream out;
+  out << "\"" << key << "\": { \"failures\": " << failures
+      << ", \"scenarios\": " << t.scenarios << ", \"full_ms\": " << t.full_ms
+      << ", \"incremental_ms\": " << t.incremental_ms
+      << ", \"speedup\": " << t.speedup() << " }";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t repetitions = 5;
+  std::size_t multi_scenarios = 60;
+  const bool args_ok =
+      (argc <= 1 ||
+       (sim::parse_count_arg(argv[1], 100, repetitions) && repetitions > 0)) &&
+      (argc <= 2 || (sim::parse_count_arg(argv[2], 1000, multi_scenarios) &&
+                     multi_scenarios > 0));
+  if (!args_ok || argc > 3) {
+    std::cerr << "usage: bench_spf_incremental [repetitions 1..100] "
+                 "[multi scenarios 1..1000]\n";
+    return 1;
+  }
+
+  // Paper topologies plus generated ones (a mid-size random 2-edge-connected
+  // graph and a larger grid) so the index/repair costs are exercised beyond
+  // ISP scale.
+  graph::Rng topo_rng(0x5bf);
+  std::vector<std::pair<std::string, graph::Graph>> topologies;
+  topologies.emplace_back("abilene", topo::abilene());
+  topologies.emplace_back("teleglobe", topo::teleglobe());
+  topologies.emplace_back("geant", topo::geant());
+  topologies.emplace_back("gen-2ec-60",
+                          graph::random_two_edge_connected(60, 45, topo_rng));
+  topologies.emplace_back("gen-grid-10x10", graph::grid(10, 10));
+
+  const std::size_t geant_nodes = topo::geant().node_count();
+  const std::size_t kMultiFailures = 3;
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"spf_incremental\",\n  \"repetitions\": " << repetitions
+       << ",\n  \"topologies\": [";
+
+  double log_speedup_sum = 0.0;
+  std::size_t log_speedup_count = 0;
+  bool first = true;
+  for (const auto& [name, g] : topologies) {
+    const auto single = net::all_single_failures(g);
+    graph::Rng rng(0x5bf1);
+    const auto multi = net::sample_any_failures(g, kMultiFailures, multi_scenarios, rng);
+
+    const ScenarioSetTiming single_t = time_scenarios(g, single, repetitions);
+    const ScenarioSetTiming multi_t = time_scenarios(g, multi, repetitions);
+    if (g.node_count() >= geant_nodes) {
+      log_speedup_sum += std::log(single_t.speedup());
+      ++log_speedup_count;
+    }
+
+    json << (first ? "" : ",") << "\n    { \"name\": \"" << name
+         << "\", \"nodes\": " << g.node_count() << ", \"links\": " << g.edge_count()
+         << ",\n      " << json_set("single", single_t, 1) << ",\n      "
+         << json_set("multi", multi_t, kMultiFailures) << " }";
+    first = false;
+
+    std::cerr << name << ": single " << single_t.speedup() << "x, multi "
+              << multi_t.speedup() << "x\n";
+  }
+  const double geomean =
+      log_speedup_count > 0
+          ? std::exp(log_speedup_sum / static_cast<double>(log_speedup_count))
+          : 0.0;
+
+  // End-to-end: the GEANT single-failure paper-trio stretch sweep, with
+  // per-scenario fresh tables (the pre-cache behaviour, make only) vs the
+  // ScenarioRoutingCache path (make_cached).  Both runs produce identical
+  // stretch samples; only the control-plane cost differs.
+  const graph::Graph geant = topo::geant();
+  const analysis::ProtocolSuite suite(geant);
+  const auto scenarios = net::all_single_failures(geant);
+  std::vector<analysis::NamedFactory> fresh_trio = suite.paper_trio();
+  for (auto& factory : fresh_trio) factory.make_cached = nullptr;
+  const std::vector<analysis::NamedFactory> cached_trio = suite.paper_trio();
+
+  const auto fresh_result =
+      analysis::run_stretch_experiment(geant, scenarios, fresh_trio);
+  const auto cached_result =
+      analysis::run_stretch_experiment(geant, scenarios, cached_trio);
+  for (std::size_t i = 0; i < fresh_result.protocols.size(); ++i) {
+    if (fresh_result.protocols[i].stretches != cached_result.protocols[i].stretches) {
+      throw std::runtime_error("cached sweep diverged from fresh-tables sweep");
+    }
+  }
+  const double fresh_ms = best_ms(repetitions, [&] {
+    (void)analysis::run_stretch_experiment(geant, scenarios, fresh_trio);
+  });
+  const double cached_ms = best_ms(repetitions, [&] {
+    (void)analysis::run_stretch_experiment(geant, scenarios, cached_trio);
+  });
+
+  json << "\n  ],\n  \"geomean_speedup_single_geant_or_larger\": " << geomean
+       << ",\n  \"fig2_sweep_geant_single\": { \"protocols\": "
+       << cached_trio.size() << ", \"scenarios\": " << scenarios.size()
+       << ", \"fresh_tables_ms\": " << fresh_ms
+       << ", \"cached_tables_ms\": " << cached_ms
+       << ", \"speedup\": " << (cached_ms > 0 ? fresh_ms / cached_ms : 0.0)
+       << " }\n}\n";
+
+  std::cout << json.str();
+  std::ofstream out("BENCH_spf_incremental.json");
+  out << json.str();
+  std::cerr << "wrote BENCH_spf_incremental.json (geomean single-link speedup on "
+               "GEANT-or-larger: "
+            << geomean << "x)\n";
+  return 0;
+}

@@ -11,12 +11,18 @@
 #include "analysis/protocols.hpp"
 #include "analysis/stretch.hpp"
 #include "net/failure_model.hpp"
+#include "sim/parallel_sweep.hpp"
 #include "topo/topologies.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pr;
   const std::size_t scenarios_per_k = 120;
   const std::uint64_t seed = 0xAB1;
+
+  // `bench_stretch_vs_failures [threads]` (falls back to PR_SWEEP_THREADS;
+  // 0 = hardware); every (topology, k) sweep shards over the same executor.
+  sim::SweepExecutor executor(sim::threads_from_arg(argc, argv, 1));
+  std::cout << "sweep: " << executor.thread_count() << " thread(s)\n\n";
 
   for (const auto& [name, g] :
        {std::pair{"abilene", topo::abilene()}, {"teleglobe", topo::teleglobe()},
@@ -41,7 +47,7 @@ int main() {
         continue;
       }
       const auto result =
-          analysis::run_stretch_experiment(g, scenarios, suite.paper_trio());
+          analysis::run_stretch_experiment(g, scenarios, suite.paper_trio(), executor);
       std::cout << std::left << std::setw(6) << k;
       for (const auto& p : result.protocols) {
         std::vector<double> finite;

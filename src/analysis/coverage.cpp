@@ -61,10 +61,12 @@ CoverageResult run_coverage_experiment(const graph::Graph& g,
   }
 
   // Reused across scenarios and protocols: once warm, a sweep allocates
-  // nothing per trial.
+  // nothing per trial, and reconverging protocols borrow delta-repaired
+  // tables from the cache.
   std::vector<sim::FlowSpec> flows;
   std::vector<char> recoverable;
   sim::BatchResult batch;
+  route::ScenarioRoutingCache routing_cache;
 
   for (const auto& failures : scenarios) {
     net::Network network(g);
@@ -74,7 +76,7 @@ CoverageResult run_coverage_experiment(const graph::Graph& g,
     if (flows.empty()) continue;
 
     for (std::size_t i = 0; i < protocols.size(); ++i) {
-      const auto instance = protocols[i].make(network);
+      const auto instance = make_protocol(protocols[i], network, routing_cache);
       sim::route_batch(network, *instance, flows, sim::TraceMode::kStats, batch);
       classify_batch(batch, recoverable, result.protocols[i]);
     }
@@ -104,7 +106,7 @@ CoverageResult run_coverage_experiment(const graph::Graph& g,
     if (ctx.flows.empty()) return;
 
     for (std::size_t i = 0; i < protocols.size(); ++i) {
-      const auto instance = protocols[i].make(network);
+      const auto instance = make_protocol(protocols[i], network, ctx.routes);
       sim::route_batch(network, *instance, ctx.flows, sim::TraceMode::kStats,
                        ctx.batch);
       classify_batch(ctx.batch, ctx.flags, partials[unit][i]);

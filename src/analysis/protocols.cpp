@@ -17,9 +17,24 @@ ProtocolSuite::ProtocolSuite(const graph::Graph& g, embed::Embedding embedding,
       cycles_(embedding_.rotation) {}
 
 NamedFactory ProtocolSuite::reconvergence() const {
-  return {"Re-convergence", [](const net::Network& net) {
-            return std::make_unique<route::ReconvergedRouting>(net);
-          }};
+  NamedFactory factory;
+  factory.name = "Re-convergence";
+  const auto kind = routes_.discriminator_kind();
+  // Reference path: one fresh RoutingDb (n full Dijkstras) per scenario.
+  // Both paths build with the suite's discriminator kind so their tables
+  // are interchangeable bit for bit.
+  factory.make = [kind](const net::Network& net) {
+    return std::make_unique<route::ReconvergedRouting>(net, kind);
+  };
+  // Sweep path: borrow the driver's delta-repaired tables -- bit-identical
+  // to the fresh build, but only the trees touching a failed edge are
+  // recomputed.
+  factory.make_cached = [kind](const net::Network& net,
+                               route::ScenarioRoutingCache& cache) {
+    return std::make_unique<route::ReconvergedRouting>(
+        net, cache.tables(net.graph(), net.failed_links(), kind));
+  };
+  return factory;
 }
 
 NamedFactory ProtocolSuite::fcp() const {

@@ -96,10 +96,13 @@ StretchExperimentResult run_stretch_experiment(
   result.scenarios = scenarios.size();
 
   // Reused across scenarios and protocols: once warm, a sweep allocates
-  // nothing per trial (the point of the stats-only batched engine).
+  // nothing per trial (the point of the stats-only batched engine), and
+  // reconverging protocols borrow delta-repaired tables from the cache
+  // instead of rebuilding n Dijkstras per scenario.
   std::vector<sim::FlowSpec> flows;
   std::vector<double> base_costs;
   sim::BatchResult batch;
+  route::ScenarioRoutingCache routing_cache;
 
   for (const auto& failures : scenarios) {
     net::Network network(g);
@@ -110,9 +113,9 @@ StretchExperimentResult run_stretch_experiment(
     if (flows.empty()) continue;
 
     // Fresh protocol instances see this scenario's link state at build time
-    // (ReconvergedRouting computes its post-convergence tables here).
+    // (ReconvergedRouting borrows its post-convergence tables here).
     for (std::size_t i = 0; i < protocols.size(); ++i) {
-      const auto instance = protocols[i].make(network);
+      const auto instance = make_protocol(protocols[i], network, routing_cache);
       sim::route_batch(network, *instance, flows, sim::TraceMode::kStats, batch);
       auto& agg = result.protocols[i];
       for (std::size_t f = 0; f < batch.size(); ++f) {
@@ -159,7 +162,7 @@ StretchExperimentResult run_stretch_experiment(
     if (ctx.flows.empty()) return;
 
     for (std::size_t i = 0; i < protocols.size(); ++i) {
-      const auto instance = protocols[i].make(network);
+      const auto instance = make_protocol(protocols[i], network, ctx.routes);
       sim::route_batch(network, *instance, ctx.flows, sim::TraceMode::kStats,
                        ctx.batch);
       auto& samples = partial.stretches[i];

@@ -16,6 +16,7 @@
 #include "graph/graph.hpp"
 #include "net/forwarding.hpp"
 #include "route/routing_db.hpp"
+#include "route/scenario_cache.hpp"
 
 namespace pr::sim {
 class SweepExecutor;
@@ -38,10 +39,29 @@ namespace pr::analysis {
 using ProtocolFactory =
     std::function<std::unique_ptr<net::ForwardingProtocol>(const net::Network&)>;
 
+/// Cache-aware variant: sweep drivers own a ScenarioRoutingCache (one per
+/// worker) and pass it here so protocols that reconverge can borrow
+/// delta-repaired tables instead of building fresh RoutingDbs per scenario.
+using CachedProtocolFactory = std::function<std::unique_ptr<net::ForwardingProtocol>(
+    const net::Network&, route::ScenarioRoutingCache&)>;
+
 struct NamedFactory {
   std::string name;
   ProtocolFactory make;
+  /// Optional: preferred by drivers that own a cache.  When empty, `make`
+  /// runs instead, so factories that never rebuild tables need not set it.
+  CachedProtocolFactory make_cached{};
 };
+
+/// The one instantiation rule every sweep driver uses: the cache-aware maker
+/// when the factory provides one, the plain maker otherwise.  Tables served
+/// by the cache are bit-identical to from-scratch builds, so both paths
+/// produce identical sweep results.
+[[nodiscard]] inline std::unique_ptr<net::ForwardingProtocol> make_protocol(
+    const NamedFactory& factory, const net::Network& net,
+    route::ScenarioRoutingCache& cache) {
+  return factory.make_cached ? factory.make_cached(net, cache) : factory.make(net);
+}
 
 /// Aggregate outcome of one protocol across all scenarios and affected pairs.
 struct ProtocolStretch {

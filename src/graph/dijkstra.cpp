@@ -1,9 +1,9 @@
 #include "graph/dijkstra.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
-#include <tuple>
+
+#include "graph/spf_workspace.hpp"
 
 namespace pr::graph {
 
@@ -13,48 +13,15 @@ bool ShortestPathTree::reachable(NodeId v) const {
 
 ShortestPathTree shortest_paths_to(const Graph& g, NodeId destination,
                                    const EdgeSet* excluded) {
-  if (destination >= g.node_count()) {
-    throw std::out_of_range("shortest_paths_to: destination out of range");
-  }
   const std::size_t n = g.node_count();
   ShortestPathTree spt;
   spt.destination = destination;
-  spt.dist.assign(n, kUnreachable);
-  spt.hops.assign(n, std::numeric_limits<std::uint32_t>::max());
-  spt.next_dart.assign(n, kInvalidDart);
-
-  // Priority ordered by (cost, hops, node id) for full determinism.
-  using Entry = std::tuple<Weight, std::uint32_t, NodeId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
-
-  spt.dist[destination] = 0;
-  spt.hops[destination] = 0;
-  queue.emplace(0.0, 0U, destination);
-
-  while (!queue.empty()) {
-    const auto [cost, hop, v] = queue.top();
-    queue.pop();
-    if (cost > spt.dist[v] || (cost == spt.dist[v] && hop > spt.hops[v])) {
-      continue;  // stale entry
-    }
-    // Relax v's neighbours: the tree grows from the destination outward, so a
-    // neighbour u reaches the destination via the dart u->v.
-    for (DartId d_vu : g.out_darts(v)) {
-      const EdgeId e = dart_edge(d_vu);
-      if (excluded != nullptr && excluded->contains(e)) continue;
-      const NodeId u = g.dart_head(d_vu);
-      const Weight cand = cost + g.edge_weight(e);
-      const std::uint32_t cand_hops = hop + 1;
-      const bool better = cand < spt.dist[u] ||
-                          (cand == spt.dist[u] && cand_hops < spt.hops[u]);
-      if (better) {
-        spt.dist[u] = cand;
-        spt.hops[u] = cand_hops;
-        spt.next_dart[u] = reverse(d_vu);  // dart u->v
-        queue.emplace(cand, cand_hops, u);
-      }
-    }
-  }
+  spt.dist.resize(n);
+  spt.hops.resize(n);
+  spt.next_dart.resize(n);
+  SpfWorkspace workspace;
+  workspace.full_build(g, destination, excluded, spt.dist.data(), spt.hops.data(),
+                       spt.next_dart.data());
   return spt;
 }
 

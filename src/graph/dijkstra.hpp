@@ -30,11 +30,13 @@ struct ShortestPathTree {
   [[nodiscard]] bool reachable(NodeId v) const;
 };
 
-inline constexpr Weight kUnreachable = std::numeric_limits<Weight>::infinity();
-
 /// Dijkstra from `destination` over the undirected graph, optionally ignoring
 /// the edges in `excluded` (the failure set).  Deterministic: ties are broken
 /// first by hop count, then by smaller neighbour id.
+///
+/// This is a thin reference wrapper over SpfWorkspace::full_build (one
+/// workspace + tree allocation per call); hot paths that build many trees
+/// should hold a workspace and write into their own columns instead.
 [[nodiscard]] ShortestPathTree shortest_paths_to(const Graph& g, NodeId destination,
                                                  const EdgeSet* excluded = nullptr);
 

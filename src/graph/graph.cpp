@@ -1,10 +1,16 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <string>
 
 namespace pr::graph {
+
+std::uint64_t Graph::next_structure_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 void EdgeSet::insert(EdgeId e) {
   if (e >= member_.size()) {
@@ -38,6 +44,7 @@ NodeId Graph::add_node(std::string label) {
   }
   out_darts_.emplace_back();
   labels_.push_back(std::move(label));
+  structure_id_ = next_structure_id();
   return static_cast<NodeId>(out_darts_.size() - 1);
 }
 
@@ -55,6 +62,7 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
   edges_.push_back(EdgeRec{u, v, w});
   out_darts_[u].push_back(make_dart(e, 0));
   out_darts_[v].push_back(make_dart(e, 1));
+  structure_id_ = next_structure_id();
   return e;
 }
 
@@ -63,6 +71,7 @@ void Graph::set_edge_weight(EdgeId e, Weight w) {
     throw std::invalid_argument("Graph::set_edge_weight: weight must be positive");
   }
   edges_.at(e).w = w;
+  structure_id_ = next_structure_id();
 }
 
 NodeId Graph::dart_tail(DartId d) const {

@@ -31,6 +31,9 @@ inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
 inline constexpr DartId kInvalidDart = std::numeric_limits<DartId>::max();
 
+/// Distance value for unreachable nodes in shortest-path structures.
+inline constexpr Weight kUnreachable = std::numeric_limits<Weight>::infinity();
+
 /// Dart helpers are free functions so they can be used without a Graph at hand.
 [[nodiscard]] constexpr DartId make_dart(EdgeId e, unsigned side) noexcept {
   return static_cast<DartId>(2 * e + (side & 1U));
@@ -131,6 +134,15 @@ class Graph {
   /// Exposed so property tests can call it after generator runs.
   void check_invariants() const;
 
+  /// Structure-version id: drawn from a process-wide counter at construction
+  /// and re-drawn by every routing-relevant mutation (add_node, add_edge,
+  /// set_edge_weight).  Two graphs with the same id are copies of the same
+  /// structure; a graph allocated at a recycled address always has a fresh
+  /// id.  Caches keyed by graph (e.g. route::ScenarioRoutingCache) compare
+  /// (address, structure_id) so stale derived state can never be served
+  /// after the object at that address was destroyed or mutated.
+  [[nodiscard]] std::uint64_t structure_id() const noexcept { return structure_id_; }
+
  private:
   struct EdgeRec {
     NodeId u;
@@ -138,9 +150,12 @@ class Graph {
     Weight w;
   };
 
+  [[nodiscard]] static std::uint64_t next_structure_id() noexcept;
+
   std::vector<EdgeRec> edges_;
   std::vector<std::vector<DartId>> out_darts_;
   std::vector<std::string> labels_;
+  std::uint64_t structure_id_ = next_structure_id();
 };
 
 }  // namespace pr::graph

@@ -1,0 +1,146 @@
+#include "graph/spf_workspace.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace pr::graph {
+
+namespace {
+constexpr std::uint32_t kNoHops = std::numeric_limits<std::uint32_t>::max();
+
+/// std::*_heap builds a max-heap; invert the comparator for a min-heap.
+/// Entries are pairwise-distinct tuples (a node is re-pushed only on strict
+/// label improvement), so the (cost, hops, node) total order makes the pop
+/// sequence identical to the reference std::priority_queue.
+constexpr auto kEntryGreater = [](const auto& a, const auto& b) { return b < a; };
+}  // namespace
+
+void SpfWorkspace::heap_push(Entry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), kEntryGreater);
+}
+
+SpfWorkspace::Entry SpfWorkspace::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), kEntryGreater);
+  const Entry top = heap_.back();
+  heap_.pop_back();
+  return top;
+}
+
+void SpfWorkspace::run(const Graph& g, const EdgeSet* excluded, Weight* dist,
+                       std::uint32_t* hops, DartId* next_dart, bool orphan_only) {
+  while (!heap_.empty()) {
+    const Entry e = heap_pop();
+    const NodeId v = e.node;
+    if (e.cost > dist[v] || (e.cost == dist[v] && e.hops > hops[v])) {
+      continue;  // stale entry
+    }
+    // Relax v's neighbours: the tree grows from the destination outward, so a
+    // neighbour u reaches the destination via the dart u->v.
+    for (const DartId d_vu : g.out_darts(v)) {
+      const EdgeId edge = dart_edge(d_vu);
+      if (excluded != nullptr && excluded->contains(edge)) continue;
+      const NodeId u = g.dart_head(d_vu);
+      if (orphan_only && state_[u] != kOrphan) continue;
+      const Weight cand = e.cost + g.edge_weight(edge);
+      const std::uint32_t cand_hops = e.hops + 1;
+      if (cand < dist[u] || (cand == dist[u] && cand_hops < hops[u])) {
+        dist[u] = cand;
+        hops[u] = cand_hops;
+        next_dart[u] = reverse(d_vu);  // dart u->v
+        heap_push(Entry{cand, cand_hops, u});
+      }
+    }
+  }
+}
+
+void SpfWorkspace::full_build(const Graph& g, NodeId destination,
+                              const EdgeSet* excluded, Weight* dist,
+                              std::uint32_t* hops, DartId* next_dart) {
+  if (destination >= g.node_count()) {
+    throw std::out_of_range("SpfWorkspace::full_build: destination out of range");
+  }
+  const std::size_t n = g.node_count();
+  std::fill_n(dist, n, kUnreachable);
+  std::fill_n(hops, n, kNoHops);
+  std::fill_n(next_dart, n, kInvalidDart);
+  dist[destination] = 0;
+  hops[destination] = 0;
+  heap_.clear();
+  heap_push(Entry{0.0, 0U, destination});
+  run(g, excluded, dist, hops, next_dart, /*orphan_only=*/false);
+}
+
+void SpfWorkspace::repair(const Graph& g, NodeId destination, const EdgeSet& excluded,
+                          Weight* dist, std::uint32_t* hops, DartId* next_dart) {
+  if (destination >= g.node_count()) {
+    throw std::out_of_range("SpfWorkspace::repair: destination out of range");
+  }
+  if (excluded.empty()) return;  // pristine columns already correct
+  const std::size_t n = g.node_count();
+
+  // 1. Classify every node: a node is orphaned exactly when its pristine tree
+  //    path crosses an excluded edge, i.e. its own next dart failed or its
+  //    tree parent is orphaned.  Memoised walk toward the destination: each
+  //    node is resolved once, so classification is O(n) total.
+  state_.assign(n, kUnknown);
+  state_[destination] = kSafe;
+  bool any_orphans = false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (state_[v] != kUnknown) continue;
+    chain_.clear();
+    NodeId w = v;
+    while (state_[w] == kUnknown) {
+      const DartId d = next_dart[w];
+      if (d == kInvalidDart) {
+        // Pristine-unreachable: removing edges cannot connect it; keep as is.
+        state_[w] = kSafe;
+        break;
+      }
+      if (excluded.contains(dart_edge(d))) {
+        state_[w] = kOrphan;
+        break;
+      }
+      chain_.push_back(w);
+      if (chain_.size() > n) {
+        throw std::logic_error("SpfWorkspace::repair: cycle in pristine tree");
+      }
+      w = g.dart_head(d);
+    }
+    const std::uint8_t resolved = state_[w];
+    any_orphans = any_orphans || resolved == kOrphan;
+    for (const NodeId u : chain_) state_[u] = resolved;
+  }
+  if (!any_orphans) return;
+
+  // 2. Detach the orphaned subtrees and seed the regrow frontier.  Every safe
+  //    node adjacent to an orphan over a surviving edge is pushed once with
+  //    its (final, unchanged) label: the heap then interleaves those boundary
+  //    sources with regrown orphans in exactly the (cost, hops, id) order a
+  //    from-scratch run pops them, so each orphan sees the same relaxation
+  //    sequence -- and therefore records the same parent dart -- as a full
+  //    rebuild.
+  heap_.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    if (state_[v] != kOrphan) continue;
+    dist[v] = kUnreachable;
+    hops[v] = kNoHops;
+    next_dart[v] = kInvalidDart;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (state_[v] != kOrphan) continue;
+    for (const DartId d : g.out_darts(v)) {
+      if (excluded.contains(dart_edge(d))) continue;
+      const NodeId u = g.dart_head(d);
+      if (state_[u] == kSafe && dist[u] < kUnreachable) {
+        state_[u] = kSource;  // push each boundary node once
+        heap_push(Entry{dist[u], hops[u], u});
+      }
+    }
+  }
+  run(g, &excluded, dist, hops, next_dart, /*orphan_only=*/true);
+}
+
+}  // namespace pr::graph

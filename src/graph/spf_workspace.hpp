@@ -1,0 +1,87 @@
+// Reusable scratch state for shortest-path-tree computation.
+//
+// Failure sweeps build the same trees over and over (one per destination per
+// scenario), so the SPF core must not allocate per tree.  SpfWorkspace owns
+// the transient state -- an index-based binary heap ordered by the canonical
+// (cost, hops, node-id) key, plus the orphan-classification scratch used by
+// delta repair -- and writes results straight into caller-provided columns
+// (e.g. route::RoutingDb's contiguous destination-major arrays).  Capacity is
+// retained across calls, so a warm workspace allocates nothing.
+//
+// Two entry points:
+//   * full_build: Dijkstra from scratch, bit-identical to the classic
+//     graph::shortest_paths_to (which is now a thin wrapper over it).
+//   * repair: Ramalingam-Reps-style delta repair.  Given columns holding the
+//     PRISTINE (no-exclusions) tree, detaches the subtrees orphaned by the
+//     excluded edges and regrows only them from the surviving boundary,
+//     seeded in the exact (cost, hops, node-id) pop order a from-scratch run
+//     would relax them in -- so the repaired columns are bit-identical
+//     (dist, hops AND next_dart) to a full rebuild under the same exclusions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pr::graph {
+
+class SpfWorkspace {
+ public:
+  /// Dijkstra toward `destination`, writing per-node cost / hop count / first
+  /// dart into `dist` / `hops` / `next_dart` (each an array of at least
+  /// g.node_count() entries).  Edges in `excluded` (when non-null) are
+  /// ignored.  Ties break by (cost, hops, node id); unreachable nodes end as
+  /// (kUnreachable, UINT32_MAX, kInvalidDart).
+  void full_build(const Graph& g, NodeId destination, const EdgeSet* excluded,
+                  Weight* dist, std::uint32_t* hops, DartId* next_dart);
+
+  /// Delta repair: the columns must currently hold the pristine
+  /// (no-exclusions) tree toward `destination`; on return they hold exactly
+  /// what full_build with `excluded` would have produced.  Cost is
+  /// O(n + affected-region search) instead of a full Dijkstra: nodes whose
+  /// pristine path avoids every excluded edge are provably unchanged
+  /// (removing edges cannot shorten a surviving path, and the deterministic
+  /// parent choice is preserved), so only orphaned subtrees are regrown.
+  void repair(const Graph& g, NodeId destination, const EdgeSet& excluded,
+              Weight* dist, std::uint32_t* hops, DartId* next_dart);
+
+ private:
+  /// Heap key: the canonical Dijkstra pop order (cost, hops, node id).
+  /// Entries are lazily deleted -- a pop that no longer matches the node's
+  /// current label is stale and skipped, mirroring the reference algorithm.
+  struct Entry {
+    Weight cost;
+    std::uint32_t hops;
+    NodeId node;
+
+    [[nodiscard]] bool operator<(const Entry& other) const noexcept {
+      if (cost != other.cost) return cost < other.cost;
+      if (hops != other.hops) return hops < other.hops;
+      return node < other.node;
+    }
+  };
+
+  /// Node roles during repair.
+  enum : std::uint8_t {
+    kUnknown = 0,  ///< orphan status not yet resolved
+    kSafe = 1,     ///< pristine path survives; label and parent keep
+    kOrphan = 2,   ///< pristine path crosses an excluded edge; regrow
+    kSource = 3,   ///< safe boundary node already pushed as a repair seed
+  };
+
+  void heap_push(Entry e);
+  [[nodiscard]] Entry heap_pop();
+
+  /// Shared pop/relax loop.  When `orphan_only` is set, relaxations are
+  /// restricted to nodes classified kOrphan (safe labels are final and the
+  /// reference run could never improve them either).
+  void run(const Graph& g, const EdgeSet* excluded, Weight* dist,
+           std::uint32_t* hops, DartId* next_dart, bool orphan_only);
+
+  std::vector<Entry> heap_;
+  std::vector<std::uint8_t> state_;  ///< per-node role during repair
+  std::vector<NodeId> chain_;        ///< scratch for the memoised orphan walk
+};
+
+}  // namespace pr::graph

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/dijkstra.hpp"
 #include "net/forwarding.hpp"
 #include "route/routing_db.hpp"
 

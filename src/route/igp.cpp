@@ -89,7 +89,10 @@ void LinkStateIgp::schedule_recompute(NodeId v) {
   recompute_pending_[v] = 1;
   sim_->after(timings_.spf_delay, [this, v] {
     recompute_pending_[v] = 0;
-    tables_[v] = RoutingDb(network_->graph(), &known_failures_[v]);
+    // In-place delta repair against the router's pristine tables: no n^2
+    // column allocations per SPF run, and only the destination trees that
+    // use a known-failed edge are recomputed.
+    tables_[v].rebuild(known_failures_[v], spf_workspace_);
     ++spf_runs_;
     last_update_ = sim_->now();
   });

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "graph/spf_workspace.hpp"
 #include "net/event_sim.hpp"
 #include "net/forwarding.hpp"
 #include "route/routing_db.hpp"
@@ -81,8 +82,12 @@ class LinkStateIgp {
   Timings timings_;
 
   /// Per-router link-state database (known failed edges) and routing table.
+  /// SPF recomputation repairs each router's table in place (delta SPF over
+  /// the pristine build) instead of allocating a fresh n^2 RoutingDb per run;
+  /// the workspace is shared because the event simulator is single-threaded.
   std::vector<graph::EdgeSet> known_failures_;
   std::vector<RoutingDb> tables_;
+  graph::SpfWorkspace spf_workspace_;
   std::vector<std::uint8_t> recompute_pending_;
   std::size_t injected_failures_ = 0;
 

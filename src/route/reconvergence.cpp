@@ -1,5 +1,7 @@
 #include "route/reconvergence.hpp"
 
+#include "route/scenario_cache.hpp"
+
 namespace pr::route {
 
 namespace {
@@ -16,20 +18,33 @@ net::ForwardingDecision forward_with(const RoutingDb& routes, const net::Network
 
 }  // namespace
 
-ReconvergedRouting::ReconvergedRouting(const net::Network& net)
-    : routes_(net.graph(), &net.failed_links()) {}
+ReconvergedRouting::ReconvergedRouting(const net::Network& net, DiscriminatorKind kind)
+    : owned_(std::make_unique<RoutingDb>(net.graph(), &net.failed_links(), kind)),
+      routes_(owned_.get()) {}
+
+ReconvergedRouting::ReconvergedRouting(const net::Network& /*net*/,
+                                       const RoutingDb& shared)
+    : routes_(&shared) {}
 
 net::ForwardingDecision ReconvergedRouting::forward(const net::Network& net, NodeId at,
                                                     DartId /*arrived_over*/,
                                                     net::Packet& packet) {
-  return forward_with(routes_, net, at, packet);
+  return forward_with(*routes_, net, at, packet);
 }
 
-TimedReconvergence::TimedReconvergence(const net::Network& net, const RoutingDb& before)
-    : net_(&net), before_(&before) {}
+TimedReconvergence::TimedReconvergence(const net::Network& net, const RoutingDb& before,
+                                       ScenarioRoutingCache* cache)
+    : net_(&net), before_(&before), cache_(cache) {}
 
 void TimedReconvergence::complete_convergence() {
-  after_ = std::make_unique<RoutingDb>(net_->graph(), &net_->failed_links());
+  if (cache_ != nullptr) {
+    after_ = &cache_->tables(net_->graph(), net_->failed_links(),
+                             before_->discriminator_kind());
+    return;
+  }
+  owned_after_ = std::make_unique<RoutingDb>(net_->graph(), &net_->failed_links(),
+                                             before_->discriminator_kind());
+  after_ = owned_after_.get();
 }
 
 net::ForwardingDecision TimedReconvergence::forward(const net::Network& net, NodeId at,

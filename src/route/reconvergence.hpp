@@ -19,12 +19,21 @@
 
 namespace pr::route {
 
+class ScenarioRoutingCache;
+
 class ReconvergedRouting final : public net::ForwardingProtocol {
  public:
   /// Computes post-convergence tables for the failure set currently installed
   /// in `net`.  The network's failure set must not change afterwards (build a
   /// new instance per scenario).
-  explicit ReconvergedRouting(const net::Network& net);
+  explicit ReconvergedRouting(const net::Network& net,
+                              DiscriminatorKind kind = DiscriminatorKind::kHops);
+
+  /// Borrows `shared` as the post-convergence tables instead of computing
+  /// them -- the sweep drivers pass delta-repaired tables from a per-worker
+  /// ScenarioRoutingCache here.  `shared` must reflect the network's current
+  /// failure set and outlive this instance.
+  ReconvergedRouting(const net::Network& net, const RoutingDb& shared);
 
   [[nodiscard]] net::ForwardingDecision forward(const net::Network& net, NodeId at,
                                                 DartId arrived_over,
@@ -34,17 +43,22 @@ class ReconvergedRouting final : public net::ForwardingProtocol {
     return "reconvergence";
   }
 
-  [[nodiscard]] const RoutingDb& tables() const noexcept { return routes_; }
+  [[nodiscard]] const RoutingDb& tables() const noexcept { return *routes_; }
 
  private:
-  RoutingDb routes_;
+  std::unique_ptr<RoutingDb> owned_;  ///< null when borrowing shared tables
+  const RoutingDb* routes_;
 };
 
 class TimedReconvergence final : public net::ForwardingProtocol {
  public:
   /// `before` are the pristine tables; reconverged tables are computed from
-  /// the network's failure set when convergence completes.
-  TimedReconvergence(const net::Network& net, const RoutingDb& before);
+  /// the network's failure set when convergence completes.  When `cache` is
+  /// given, the reconverged tables are borrowed from it (delta-repaired)
+  /// instead of built from scratch; the cache must outlive this instance and
+  /// must not serve a different failure set while this one is forwarding.
+  TimedReconvergence(const net::Network& net, const RoutingDb& before,
+                     ScenarioRoutingCache* cache = nullptr);
 
   /// Switches every router to the reconverged tables (the bench schedules
   /// this at failure time + detection + SPF computation + FIB update).
@@ -63,7 +77,9 @@ class TimedReconvergence final : public net::ForwardingProtocol {
  private:
   const net::Network* net_;
   const RoutingDb* before_;
-  std::unique_ptr<RoutingDb> after_;
+  ScenarioRoutingCache* cache_;
+  std::unique_ptr<RoutingDb> owned_after_;  ///< null when borrowing from cache
+  const RoutingDb* after_ = nullptr;
 };
 
 }  // namespace pr::route

@@ -1,5 +1,6 @@
 #include "route/routing_db.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -8,19 +9,6 @@ namespace pr::route {
 RoutingDb::RoutingDb(const Graph& g, const graph::EdgeSet* excluded,
                      DiscriminatorKind kind)
     : graph_(&g), kind_(kind), node_count_(g.node_count()) {
-  next_dart_.resize(node_count_ * node_count_);
-  dist_.resize(node_count_ * node_count_);
-  hops_.resize(node_count_ * node_count_);
-  for (NodeId dest = 0; dest < node_count_; ++dest) {
-    // Flatten each tree into the contiguous columns, then discard it.
-    const graph::ShortestPathTree tree = graph::shortest_paths_to(g, dest, excluded);
-    const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
-    for (NodeId at = 0; at < node_count_; ++at) {
-      next_dart_[base + at] = tree.next_dart[at];
-      dist_[base + at] = tree.dist[at];
-      hops_[base + at] = tree.hops[at];
-    }
-  }
   if (kind_ == DiscriminatorKind::kWeightedCost) {
     // Weighted discriminators ride in an integer header field; require the
     // configured weights to be integral so encoding is exact.
@@ -32,6 +20,132 @@ RoutingDb::RoutingDb(const Graph& g, const graph::EdgeSet* excluded,
       }
     }
   }
+  next_dart_.resize(node_count_ * node_count_);
+  dist_.resize(node_count_ * node_count_);
+  hops_.resize(node_count_ * node_count_);
+  graph::SpfWorkspace workspace;
+  for (NodeId dest = 0; dest < node_count_; ++dest) {
+    // The SPF core writes each tree straight into the contiguous columns --
+    // no per-destination ShortestPathTree allocations.
+    const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
+    workspace.full_build(g, dest, excluded, dist_.data() + base,
+                         hops_.data() + base, next_dart_.data() + base);
+  }
+
+  // One flat whole-table pass (no per-pair reachability re-check, no
+  // allocation); the per-column breakdown that keeps this maintainable
+  // across rebuilds is materialised lazily with the rest of the
+  // incremental state.
+  max_discriminator_ = 0;
+  for (NodeId dest = 0; dest < node_count_; ++dest) {
+    max_discriminator_ = std::max(max_discriminator_, column_max_discriminator(dest));
+  }
+
+  baseline_excluded_ = excluded != nullptr && !excluded->empty();
+  graph_structure_id_ = g.structure_id();
+}
+
+void RoutingDb::ensure_incremental_state() {
+  if (incremental_ready_) return;
+  // Deferred to the first rebuild(): never-rebuilt dbs (a suite's pristine
+  // tables, per-scenario throwaways) skip the 2x column snapshot and the
+  // index pass entirely.  rebuild() is the only table mutator and dirty
+  // columns are tracked from here on, so the columns are still pristine when
+  // this snapshot is taken.
+  pristine_next_dart_ = next_dart_;
+  pristine_dist_ = dist_;
+  pristine_hops_ = hops_;
+  col_max_disc_.resize(node_count_);
+  for (NodeId dest = 0; dest < node_count_; ++dest) {
+    col_max_disc_[dest] = column_max_discriminator(dest);
+  }
+  pristine_col_max_disc_ = col_max_disc_;
+  build_edge_dest_index();
+  dest_flag_.assign(node_count_, 0);
+  incremental_ready_ = true;
+}
+
+void RoutingDb::build_edge_dest_index() {
+  const std::size_t edges = graph_->edge_count();
+  edge_dest_offsets_.assign(edges + 1, 0);
+  // A tree uses each edge at most once (two nodes pointing over the same edge
+  // would form a 2-cycle), so the payload needs no dedup: count, prefix-sum,
+  // fill.
+  for (const DartId d : pristine_next_dart_) {
+    if (d != graph::kInvalidDart) ++edge_dest_offsets_[graph::dart_edge(d) + 1];
+  }
+  for (std::size_t e = 0; e < edges; ++e) {
+    edge_dest_offsets_[e + 1] += edge_dest_offsets_[e];
+  }
+  edge_dest_ids_.resize(edge_dest_offsets_[edges]);
+  std::vector<std::uint32_t> cursor(edge_dest_offsets_.begin(),
+                                    edge_dest_offsets_.end() - 1);
+  for (NodeId dest = 0; dest < node_count_; ++dest) {
+    const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
+    for (NodeId at = 0; at < node_count_; ++at) {
+      const DartId d = pristine_next_dart_[base + at];
+      if (d != graph::kInvalidDart) {
+        edge_dest_ids_[cursor[graph::dart_edge(d)]++] = dest;
+      }
+    }
+  }
+}
+
+void RoutingDb::rebuild(const graph::EdgeSet& excluded,
+                        graph::SpfWorkspace& workspace) {
+  if (baseline_excluded_) {
+    throw std::logic_error(
+        "RoutingDb::rebuild: only supported on a db built without a baseline "
+        "exclusion set");
+  }
+  if (graph_->structure_id() != graph_structure_id_) {
+    // Repair mixes the pristine snapshot with the live graph; a mutation in
+    // between would silently corrupt the tables, so fail loudly instead.
+    throw std::logic_error(
+        "RoutingDb::rebuild: graph was mutated since this db was built");
+  }
+  ensure_incremental_state();
+
+  // Destinations whose pristine tree uses a failed edge -- everything else is
+  // provably identical to a from-scratch build and is skipped.
+  affected_dests_.clear();
+  for (const EdgeId e : excluded.elements()) {
+    if (e >= graph_->edge_count()) continue;  // unknown edge id
+    for (std::uint32_t i = edge_dest_offsets_[e]; i < edge_dest_offsets_[e + 1];
+         ++i) {
+      const NodeId dest = edge_dest_ids_[i];
+      if (dest_flag_[dest] == 0) {
+        dest_flag_[dest] = 1;
+        affected_dests_.push_back(dest);
+      }
+    }
+  }
+
+  // Restore every column a previous rebuild modified; repair then starts
+  // from the pristine tree state it requires.
+  for (const NodeId dest : dirty_dests_) {
+    const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
+    std::copy_n(pristine_next_dart_.data() + base, node_count_,
+                next_dart_.data() + base);
+    std::copy_n(pristine_dist_.data() + base, node_count_, dist_.data() + base);
+    std::copy_n(pristine_hops_.data() + base, node_count_, hops_.data() + base);
+    col_max_disc_[dest] = pristine_col_max_disc_[dest];
+  }
+  dirty_dests_.clear();
+
+  for (const NodeId dest : affected_dests_) {
+    dest_flag_[dest] = 0;  // reset the scratch marks for the next rebuild
+    const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
+    workspace.repair(*graph_, dest, excluded, dist_.data() + base,
+                     hops_.data() + base, next_dart_.data() + base);
+    col_max_disc_[dest] = column_max_discriminator(dest);
+    dirty_dests_.push_back(dest);
+  }
+
+  max_discriminator_ = col_max_disc_.empty()
+                           ? 0
+                           : *std::max_element(col_max_disc_.begin(),
+                                               col_max_disc_.end());
 }
 
 std::uint32_t RoutingDb::discriminator(NodeId at, NodeId dest) const {
@@ -42,12 +156,17 @@ std::uint32_t RoutingDb::discriminator(NodeId at, NodeId dest) const {
   return static_cast<std::uint32_t>(std::llround(cost(at, dest)));
 }
 
-std::uint32_t RoutingDb::max_discriminator() const {
+std::uint32_t RoutingDb::column_max_discriminator(NodeId dest) const noexcept {
+  const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
   std::uint32_t best = 0;
-  for (NodeId dest = 0; dest < graph_->node_count(); ++dest) {
-    for (NodeId at = 0; at < graph_->node_count(); ++at) {
-      if (reachable(at, dest)) {
-        best = std::max(best, discriminator(at, dest));
+  if (kind_ == DiscriminatorKind::kHops) {
+    for (std::size_t i = base; i < base + node_count_; ++i) {
+      if (dist_[i] != graph::kUnreachable) best = std::max(best, hops_[i]);
+    }
+  } else {
+    for (std::size_t i = base; i < base + node_count_; ++i) {
+      if (dist_[i] != graph::kUnreachable) {
+        best = std::max(best, static_cast<std::uint32_t>(std::llround(dist_[i])));
       }
     }
   }

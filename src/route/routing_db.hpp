@@ -10,8 +10,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/dijkstra.hpp"
 #include "graph/graph.hpp"
+#include "graph/spf_workspace.hpp"
 
 namespace pr::route {
 
@@ -32,10 +32,28 @@ enum class DiscriminatorKind : std::uint8_t {
 /// contiguous destination-major arrays so the forwarding engine's inner loop
 /// touches one cache line per lookup instead of chasing a per-destination
 /// vector-of-vectors.  Per-router memory accounting feeds the E9 bench.
+///
+/// A db built WITHOUT a baseline exclusion set additionally supports
+/// rebuild(): in-place delta repair to an arbitrary failure scenario,
+/// bit-identical to constructing a fresh db with that scenario excluded.  The
+/// state powering it -- a pristine column snapshot plus an edge ->
+/// destination-trees membership index -- is materialised lazily on the first
+/// rebuild() call, so never-rebuilt dbs pay nothing for it.
 class RoutingDb {
  public:
   RoutingDb(const Graph& g, const graph::EdgeSet* excluded = nullptr,
             DiscriminatorKind kind = DiscriminatorKind::kHops);
+
+  /// Repairs the tables in place so they equal RoutingDb(graph(), &excluded,
+  /// discriminator_kind()) bit for bit (next_dart / dist / hops), but at
+  /// delta cost: destination trees that do not use any excluded edge are
+  /// skipped outright (restored from the pristine copy when a previous
+  /// rebuild dirtied them), and affected trees are repaired from the
+  /// orphaned-subtree frontier instead of from scratch.  Rebuilding with an
+  /// empty set restores the pristine tables exactly.  `workspace` supplies
+  /// the reusable SPF scratch; only available on a db constructed without a
+  /// baseline exclusion set (throws std::logic_error otherwise).
+  void rebuild(const graph::EdgeSet& excluded, graph::SpfWorkspace& workspace);
 
   /// First dart of `at`'s shortest path toward `dest`; kInvalidDart when
   /// at == dest or dest is unreachable.
@@ -61,7 +79,11 @@ class RoutingDb {
   [[nodiscard]] std::uint32_t discriminator(NodeId at, NodeId dest) const;
 
   /// Largest finite discriminator in the table: sizes the DD header field.
-  [[nodiscard]] std::uint32_t max_discriminator() const;
+  /// Maintained per destination column at construction and across rebuilds,
+  /// so reading it is free.
+  [[nodiscard]] std::uint32_t max_discriminator() const noexcept {
+    return max_discriminator_;
+  }
 
   [[nodiscard]] DiscriminatorKind discriminator_kind() const noexcept { return kind_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
@@ -76,14 +98,46 @@ class RoutingDb {
     return static_cast<std::size_t>(dest) * node_count_ + at;
   }
 
+  /// Single pass over destination `dest`'s flat columns (no per-pair
+  /// reachability re-check).
+  [[nodiscard]] std::uint32_t column_max_discriminator(NodeId dest) const noexcept;
+
+  /// CSR index: for each edge, the destinations whose pristine tree uses it.
+  void build_edge_dest_index();
+
+  /// Lazily snapshots the pristine columns and builds the edge index on the
+  /// first rebuild(), so dbs that never rebuild pay nothing extra.
+  void ensure_incremental_state();
+
   const Graph* graph_;
   DiscriminatorKind kind_;
   std::size_t node_count_ = 0;
   // The per-destination trees, flattened into contiguous destination-major
-  // columns (index dest * node_count + at); the only storage the DB keeps.
+  // columns (index dest * node_count + at); the only storage the hot
+  // forwarding lookups touch.
   std::vector<DartId> next_dart_;
   std::vector<Weight> dist_;
   std::vector<std::uint32_t> hops_;
+
+  // Cached global discriminator maximum (one flat pass at construction,
+  // maintained via the per-column maxima across rebuilds).
+  std::uint32_t max_discriminator_ = 0;
+  std::vector<std::uint32_t> col_max_disc_;  ///< lazily sized with rebuild state
+
+  // Incremental-rebuild state; populated lazily by the first rebuild() and
+  // only when the baseline exclusion set is empty (the scenario-sweep case).
+  bool baseline_excluded_ = false;
+  bool incremental_ready_ = false;
+  std::uint64_t graph_structure_id_ = 0;  ///< guards rebuild against mutation
+  std::vector<DartId> pristine_next_dart_;
+  std::vector<Weight> pristine_dist_;
+  std::vector<std::uint32_t> pristine_hops_;
+  std::vector<std::uint32_t> pristine_col_max_disc_;
+  std::vector<std::uint32_t> edge_dest_offsets_;  ///< CSR offsets, edge-indexed
+  std::vector<NodeId> edge_dest_ids_;             ///< CSR payload: destinations
+  std::vector<NodeId> dirty_dests_;    ///< columns differing from pristine
+  std::vector<std::uint8_t> dest_flag_;  ///< rebuild scratch: affected marks
+  std::vector<NodeId> affected_dests_;   ///< rebuild scratch: affected list
 };
 
 }  // namespace pr::route

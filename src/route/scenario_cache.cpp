@@ -1,0 +1,34 @@
+#include "route/scenario_cache.hpp"
+
+#include <algorithm>
+
+namespace pr::route {
+
+const RoutingDb& ScenarioRoutingCache::tables(const graph::Graph& g,
+                                              const graph::EdgeSet& failures,
+                                              DiscriminatorKind kind) {
+  if (db_ == nullptr || graph_ != &g || graph_structure_id_ != g.structure_id() ||
+      kind_ != kind) {
+    db_ = std::make_unique<RoutingDb>(g, nullptr, kind);
+    graph_ = &g;
+    graph_structure_id_ = g.structure_id();
+    kind_ = kind;
+    current_failures_.clear();
+    ++pristine_builds_;
+    if (failures.empty()) return *db_;
+  } else {
+    const auto elements = failures.elements();
+    if (std::equal(elements.begin(), elements.end(), current_failures_.begin(),
+                   current_failures_.end())) {
+      ++hits_;
+      return *db_;
+    }
+  }
+  db_->rebuild(failures, workspace_);
+  const auto elements = failures.elements();
+  current_failures_.assign(elements.begin(), elements.end());
+  ++rebuilds_;
+  return *db_;
+}
+
+}  // namespace pr::route

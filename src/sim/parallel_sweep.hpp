@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "graph/rng.hpp"
+#include "route/scenario_cache.hpp"
 #include "sim/forwarding_engine.hpp"
 
 namespace pr::sim {
@@ -55,6 +56,12 @@ class WorkerContext {
   std::vector<double> base_costs;
   std::vector<char> flags;
   BatchResult batch;
+
+  /// Per-worker scenario routing cache: protocols that reconverge borrow
+  /// delta-repaired tables from here instead of building a fresh RoutingDb
+  /// per scenario.  Served tables are bit-identical to from-scratch builds,
+  /// so results stay independent of worker placement.
+  route::ScenarioRoutingCache routes;
 
   /// Per-unit RNG: reseeded to split_seed(run seed, unit) before every unit
   /// function invocation, so draws depend on the unit, not the worker.

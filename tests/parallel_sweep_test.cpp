@@ -257,6 +257,40 @@ TEST(ParallelSweepDeterminismTest, AbileneAllSingleFailures) {
   }
 }
 
+TEST(ParallelSweepDeterminismTest, ScenarioRoutingCacheKeepsSweepsBitIdentical) {
+  // The per-worker ScenarioRoutingCache hands reconverging protocols
+  // delta-repaired tables whose content depends only on the failure set --
+  // never on which worker ran the unit or what it processed before.  A
+  // reconvergence-heavy protocol list over a scenario mix with partitions
+  // must therefore stay bit-identical to the serial sweep at any thread
+  // count.
+  graph::Rng rng(0x5CA1E);
+  const graph::Graph g = graph::random_two_edge_connected(12, 7, rng);
+  const analysis::ProtocolSuite suite(g);
+  // Two cache users per scenario (reconvergence twice) plus PR: exercises the
+  // same-failure-set fast path inside one unit as well.
+  const std::vector<analysis::NamedFactory> protocols = {
+      suite.reconvergence(), suite.pr(), suite.reconvergence()};
+
+  auto scenarios = net::all_single_failures(g);
+  for (auto& s : net::sample_any_failures(g, 3, 12, rng)) {
+    scenarios.push_back(std::move(s));
+  }
+
+  const auto serial = analysis::run_stretch_experiment(g, scenarios, protocols);
+  const auto serial_cov = analysis::run_coverage_experiment(g, scenarios, protocols);
+  for (const std::size_t threads : {1U, 2U, 8U}) {
+    SweepExecutor executor(threads);
+    expect_identical_stretch(
+        serial, analysis::run_stretch_experiment(g, scenarios, protocols, executor),
+        threads);
+    expect_identical_coverage(
+        serial_cov,
+        analysis::run_coverage_experiment(g, scenarios, protocols, executor),
+        threads);
+  }
+}
+
 TEST(ParallelSweepDeterminismTest, AggregateCostBitIdenticalToSerialBatches) {
   // FlowStatsReduction merged in canonical shard order must reproduce the
   // serial per-scenario accumulation exactly, including the floating-point

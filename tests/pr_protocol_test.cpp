@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "embed/embedder.hpp"
+#include "graph/dijkstra.hpp"
 #include "graph/generators.hpp"
 #include "net/failure_model.hpp"
 #include "topo/topologies.hpp"

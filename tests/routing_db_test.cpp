@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/dijkstra.hpp"
 #include "graph/generators.hpp"
 
 namespace pr::route {
