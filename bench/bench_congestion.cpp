@@ -8,13 +8,23 @@
 // repair scheme.  The bench separates loss by cause -- failure drops (no
 // route) vs congestion drops (queue overflow) -- for PR and for a converged
 // IGP taking the same post-failure path.
+//
+// Link speeds come from one traffic::CapacityPlan shared between the two
+// models of the same links: the event-sim QueueModel is built from the
+// plan's per-edge line rates, and the analytic congestion sweep prices the
+// demand matrix against the same plan, so the closing cross-check compares
+// queue physics with fluid-model utilization on identical links.
 #include <iomanip>
 #include <iostream>
 
 #include "analysis/protocols.hpp"
+#include "analysis/traffic.hpp"
 #include "net/event_sim.hpp"
 #include "net/queueing.hpp"
 #include "topo/topologies.hpp"
+#include "traffic/capacity.hpp"
+#include "traffic/congestion.hpp"
+#include "traffic/demand.hpp"
 
 int main() {
   using namespace pr;
@@ -30,17 +40,19 @@ int main() {
 
   const analysis::ProtocolSuite suite(g);
 
-  net::QueueModel::Config qcfg;
-  qcfg.link_rate_bps = 8e6;    // 1 ms per 1 kB packet -> 1000 pps capacity
-  qcfg.packet_bits = 8000;
-  qcfg.queue_packets = 64;
+  // One capacity decision for both link models: 1000-pps interfaces.
+  const traffic::CapacityPlan plan = traffic::CapacityPlan::uniform(g, 1000.0);
+  const net::QueueModel::Config qcfg =
+      plan.queue_config(/*packet_bits=*/8000, /*queue_packets=*/64);
 
   constexpr double kFlowPps = 600;   // per-flow rate; 2 flows on one link: 1.2x
   constexpr double kFailAt = 0.5;
   constexpr double kEnd = 2.0;
 
-  std::cout << "5-node ring, two 600-pps flows into D, 1000-pps interfaces, "
-               "64-packet buffers;\nlink M1-D fails at t=" << kFailAt << " s\n\n";
+  std::cout << "5-node ring, two 600-pps flows into D, "
+            << plan.capacity_pps(0) << "-pps interfaces (capacity plan -> "
+            << qcfg.link_rate_bps / 1e6 << " Mbps queues), " << qcfg.queue_packets
+            << "-packet buffers;\nlink M1-D fails at t=" << kFailAt << " s\n\n";
   std::cout << std::left << std::setw(22) << "protocol" << std::setw(11) << "delivered"
             << std::setw(14) << "failure-drops" << std::setw(18) << "congestion-drops"
             << "post-failure goodput\n";
@@ -48,7 +60,9 @@ int main() {
   for (const auto& factory : {suite.pr(), suite.reconvergence()}) {
     net::Network network(g);
     net::Simulator sim;
-    net::QueueModel queues(network, qcfg);
+    // Per-edge rates from the shared plan (uniform here, but priced through
+    // the same path a heterogeneous plan would take).
+    net::QueueModel queues(network, qcfg, plan.link_rates_bps(qcfg.packet_bits));
 
     // Reconvergence instances must be built AFTER the failure is installed to
     // model the post-convergence state; PR ignores the distinction.  To keep
@@ -113,6 +127,33 @@ int main() {
               << static_cast<double>(post_failure_delivered) / window << " pps of "
               << 2 * kFlowPps << " offered\n";
     (void)launched;
+  }
+
+  // Analytic cross-check: the same two flows as a demand matrix, the same
+  // failed link as a scenario, priced against the same plan by the fluid
+  // congestion model.  1200 pps into a 1000-pps interface reads as 1.2x max
+  // utilization on one overloaded link -- the queue physics above is the
+  // packetised version of exactly this number.
+  traffic::TrafficMatrix demand(g.node_count());
+  demand.set_demand(s1, d, kFlowPps);
+  demand.set_demand(s2, d, kFlowPps);
+  std::vector<graph::EdgeSet> scenario(1, graph::EdgeSet(g.edge_count()));
+  scenario[0].insert(broken);
+
+  const auto result = analysis::run_traffic_experiment(
+      g, demand, plan, scenario, {suite.pr(), suite.reconvergence()});
+
+  std::cout << "\nfluid-model view of the same failure (shared capacity plan):\n"
+            << std::left << std::setw(22) << "protocol" << std::right << std::setw(10)
+            << "max-U" << std::setw(9) << "overld" << std::setw(15) << "delivered-pps"
+            << std::setw(10) << "lost-pps" << std::setw(14) << "stranded-pps\n";
+  for (const auto& p : result.protocols) {
+    const traffic::CongestionSummary s = p.summary();
+    std::cout << std::left << std::setw(22) << p.name << std::right << std::fixed
+              << std::setprecision(2) << std::setw(10) << s.worst_max_utilization
+              << std::setw(9) << s.overloaded_links << std::setprecision(0)
+              << std::setw(15) << s.delivered_pps << std::setw(10) << s.lost_pps
+              << std::setw(14) << s.stranded_pps << "\n";
   }
 
   std::cout << "\nBoth schemes converge to the same bottleneck (the surviving path\n"

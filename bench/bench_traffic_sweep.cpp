@@ -1,0 +1,238 @@
+// Congestion-under-failure sweep: the traffic-engineering comparison.
+//
+// For each evaluation topology (Abilene / Teleglobe / GEANT) the bench builds
+// a degree-gravity demand matrix carrying 1M packets per second, sizes a
+// uniform capacity plan so the busiest pristine interface runs at 60%
+// utilization, then sweeps every single-link failure and every dual-link
+// combination under Packet Re-cycling, Loop-Free Alternates and IGP
+// reconvergence.  Each (scenario, protocol) cell routes the full demand
+// matrix with demand-weighted load accumulation and is priced against the
+// plan: max link utilization, overloaded links, and delivered / lost /
+// stranded traffic volume.  Sweeps run on the parallel executor; the Abilene
+// single-link sweep is first checked bit-identical to the serial reference
+// (the determinism contract is part of what this bench certifies).
+//
+// Emits BENCH_traffic_sweep.json (also printed):
+//
+//   { "bench": "traffic_sweep", "total_demand_pps": ..., ...,
+//     "topologies": [ { "topology": "abilene", ..., "sweeps": [
+//       { "failures": 1, "scenarios": S, "protocols": [
+//         { "protocol": "Packet Re-cycling", "worst_max_utilization": ...,
+//           "overloaded_links": ..., "stranded_pps": ..., ... }, ... ] }, ... ] } ] }
+//
+//   $ ./bench_traffic_sweep [threads] [dual-scenario cap, 0 = none]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/protocols.hpp"
+#include "analysis/traffic.hpp"
+#include "net/failure_model.hpp"
+#include "sim/parallel_sweep.hpp"
+#include "topo/topologies.hpp"
+#include "traffic/capacity.hpp"
+#include "traffic/congestion.hpp"
+#include "traffic/demand.hpp"
+
+namespace {
+
+using namespace pr;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kTotalDemandPps = 1e6;  // a million packets/s across the network
+constexpr double kBaselineUtilization = 0.6;  // headroom on the pristine busiest link
+
+/// Demand-weighted per-dart load of the pristine (no failures) network under
+/// plain shortest-path forwarding: the baseline the capacity plan is sized
+/// against.
+traffic::LoadMap pristine_load(const graph::Graph& g,
+                               const analysis::ProtocolSuite& suite,
+                               const traffic::TrafficMatrix& demand) {
+  // The exact work-list the sweep will route, so capacity is sized against
+  // the same flows.
+  std::vector<sim::FlowSpec> flows;
+  std::vector<double> demands;
+  analysis::collect_demand_flows(demand, flows, demands);
+  net::Network network(g);
+  const auto spf = suite.spf().make(network);
+  traffic::LoadMap load;
+  sim::BatchResult batch;
+  sim::route_batch(network, *spf, flows, demands, load, sim::TraceMode::kStats, batch);
+  return load;
+}
+
+void require_identical(const analysis::TrafficExperimentResult& serial,
+                       const analysis::TrafficExperimentResult& parallel) {
+  const auto fail = [](const char* what) {
+    throw std::runtime_error(std::string("parallel traffic sweep diverged from "
+                                         "serial: ") +
+                             what);
+  };
+  if (parallel.protocols.size() != serial.protocols.size()) fail("protocol count");
+  for (std::size_t i = 0; i < serial.protocols.size(); ++i) {
+    if (parallel.protocols[i].per_scenario != serial.protocols[i].per_scenario) {
+      fail("per-scenario metrics");  // bit-exact doubles
+    }
+    if (parallel.protocols[i].total_load != serial.protocols[i].total_load) {
+      fail("total load map");
+    }
+  }
+}
+
+void emit_protocols(std::ostringstream& json, std::ostream& table,
+                    const analysis::TrafficExperimentResult& result) {
+  bool first = true;
+  for (const auto& p : result.protocols) {
+    const traffic::CongestionSummary s = p.summary();
+    json << (first ? "" : ",") << "\n          { \"protocol\": \"" << p.name << "\""
+         << ", \"worst_max_utilization\": " << s.worst_max_utilization
+         << ", \"mean_max_utilization\": " << s.mean_max_utilization
+         << ", \"overloaded_links\": " << s.overloaded_links
+         << ", \"overloaded_scenarios\": " << s.overloaded_scenarios
+         << ", \"offered_pps\": " << s.offered_pps
+         << ", \"delivered_pps\": " << s.delivered_pps
+         << ", \"lost_pps\": " << s.lost_pps
+         << ", \"stranded_pps\": " << s.stranded_pps << " }";
+    first = false;
+
+    table << "  " << std::left << std::setw(26) << p.name << std::right << std::fixed
+          << std::setprecision(3) << std::setw(10) << s.worst_max_utilization
+          << std::setw(10) << s.mean_max_utilization << std::setw(9)
+          << s.overloaded_links << std::setprecision(0) << std::setw(14)
+          << s.lost_pps << std::setw(14) << s.stranded_pps << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t threads = 0;
+  std::size_t dual_cap = 0;  // 0 = no cap
+  try {
+    threads = sim::threads_from_arg(argc, argv, 1);
+    if (argc > 2 && !sim::parse_count_arg(argv[2], 1000000, dual_cap)) {
+      throw std::invalid_argument("bad dual-scenario cap");
+    }
+  } catch (const std::exception& ex) {
+    std::cerr << "usage: bench_traffic_sweep [threads] [dual-scenario cap, 0 = none]\n"
+              << ex.what() << "\n";
+    return 1;
+  }
+
+  sim::SweepExecutor executor(threads);
+  std::cout << "traffic sweep: gravity demand " << kTotalDemandPps
+            << " pps, capacity sized for " << kBaselineUtilization
+            << " pristine peak utilization, " << executor.thread_count()
+            << " sweep thread(s)\n\n";
+
+  struct Topo {
+    const char* name;
+    graph::Graph g;
+  };
+  std::vector<Topo> topologies;
+  topologies.push_back({"abilene", topo::abilene()});
+  topologies.push_back({"teleglobe", topo::teleglobe()});
+  topologies.push_back({"geant", topo::geant()});
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"traffic_sweep\",\n"
+       << "  \"total_demand_pps\": " << kTotalDemandPps << ",\n"
+       << "  \"baseline_utilization\": " << kBaselineUtilization << ",\n"
+       << "  \"demand_model\": \"gravity-degree\",\n"
+       << "  \"threads\": " << executor.thread_count() << ",\n"
+       << "  \"dual_scenario_cap\": " << dual_cap << ",\n"
+       << "  \"topologies\": [";
+
+  bool first_topo = true;
+  for (const Topo& t : topologies) {
+    const graph::Graph& g = t.g;
+    const analysis::ProtocolSuite suite(g);
+    const std::vector<analysis::NamedFactory> protocols = {
+        suite.pr(), suite.lfa(), suite.reconvergence()};
+
+    const traffic::TrafficMatrix demand =
+        traffic::gravity_demand(g, kTotalDemandPps, traffic::GravityMass::kDegree);
+    const traffic::LoadMap baseline = pristine_load(g, suite, demand);
+    double peak = 0.0;
+    for (double v : baseline.darts()) peak = std::max(peak, v);
+    const traffic::CapacityPlan plan =
+        traffic::CapacityPlan::uniform(g, peak / kBaselineUtilization);
+
+    std::cout << t.name << ": " << g.node_count() << " nodes, " << g.edge_count()
+              << " links, " << demand.pair_count() << " demand pairs, per-link capacity "
+              << std::fixed << std::setprecision(0) << plan.capacity_pps(0)
+              << " pps\n";
+
+    json << (first_topo ? "" : ",") << "\n    { \"topology\": \"" << t.name
+         << "\", \"nodes\": " << g.node_count() << ", \"links\": " << g.edge_count()
+         << ", \"demand_pairs\": " << demand.pair_count()
+         << ", \"capacity_pps_per_link\": " << plan.capacity_pps(0)
+         << ",\n      \"sweeps\": [";
+    first_topo = false;
+
+    struct Sweep {
+      std::size_t failures;
+      std::vector<graph::EdgeSet> scenarios;
+    };
+    std::vector<Sweep> sweeps;
+    sweeps.push_back({1, net::all_single_failures(g)});
+    {
+      // Every dual-link combination, disconnecting ones included (that is
+      // where stranded traffic comes from); cap only if the caller asked.
+      std::vector<graph::EdgeSet> duals = net::enumerate_failures(g, 2);
+      if (dual_cap != 0 && duals.size() > dual_cap) duals.resize(dual_cap);
+      sweeps.push_back({2, std::move(duals)});
+    }
+
+    bool first_sweep = true;
+    for (const Sweep& sweep : sweeps) {
+      const auto start = Clock::now();
+      const auto result = analysis::run_traffic_experiment(
+          g, demand, plan, sweep.scenarios, protocols, executor);
+      const double ms =
+          static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                  Clock::now() - start)
+                                  .count()) /
+          1e3;
+
+      // Determinism guard on the cheapest sweep: the executor result must be
+      // bit-identical to the serial reference path.
+      if (sweep.failures == 1 && t.name == std::string("abilene")) {
+        require_identical(
+            analysis::run_traffic_experiment(g, demand, plan, sweep.scenarios,
+                                             protocols),
+            result);
+      }
+
+      std::cout << " " << sweep.failures << "-link sweep, " << sweep.scenarios.size()
+                << " scenarios (" << std::fixed << std::setprecision(0) << ms
+                << " ms):\n  " << std::left << std::setw(26) << "protocol" << std::right
+                << std::setw(10) << "worst-U" << std::setw(10) << "mean-U"
+                << std::setw(9) << "overld" << std::setw(14) << "lost-pps"
+                << std::setw(14) << "stranded-pps" << "\n";
+
+      json << (first_sweep ? "" : ",") << "\n        { \"failures\": "
+           << sweep.failures << ", \"scenarios\": " << sweep.scenarios.size()
+           << ", \"flows_per_scenario\": " << result.flows_per_scenario
+           << ", \"ms\": " << ms << ",\n          \"protocols\": [";
+      emit_protocols(json, std::cout, result);
+      json << "\n        ] }";
+      first_sweep = false;
+      std::cout << "\n";
+    }
+    json << "\n      ] }";
+  }
+  json << "\n  ]\n}\n";
+
+  std::ofstream out("BENCH_traffic_sweep.json");
+  out << json.str();
+  std::cerr << "wrote BENCH_traffic_sweep.json\n";
+  return 0;
+}

@@ -1,0 +1,197 @@
+#include "analysis/traffic.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+#include "sim/parallel_sweep.hpp"
+
+namespace pr::analysis {
+
+using graph::NodeId;
+
+void collect_demand_flows(const traffic::TrafficMatrix& demand,
+                          std::vector<sim::FlowSpec>& flows,
+                          std::vector<double>& demands) {
+  flows.clear();
+  demands.clear();
+  const std::size_t n = demand.node_count();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t || demand.demand(s, t) == 0.0) continue;
+      flows.push_back(sim::FlowSpec{s, t});
+      demands.push_back(demand.demand(s, t));
+    }
+  }
+}
+
+namespace {
+
+/// Routes one (scenario, protocol) cell: demand-weighted batch into `load`,
+/// then the full metrics row.  `component` holds the scenario's residual
+/// component ids (graph minus failures) and splits dropped demand into lost
+/// (path existed) vs stranded (partitioned) -- deliberately independent of
+/// the routing cache, whose table storage the protocol instance may be
+/// borrowing.
+traffic::CongestionMetrics route_cell(const graph::Graph& g,
+                                      const net::Network& network,
+                                      std::span<const std::uint32_t> component,
+                                      const NamedFactory& factory,
+                                      route::ScenarioRoutingCache& cache,
+                                      std::span<const sim::FlowSpec> flows,
+                                      std::span<const double> demands,
+                                      double offered_pps,
+                                      const traffic::CapacityPlan& plan,
+                                      sim::BatchResult& batch,
+                                      traffic::LoadMap& load) {
+  const auto instance = make_protocol(factory, network, cache);
+  sim::route_batch(network, *instance, flows, demands, load,
+                   sim::TraceMode::kStats, batch);
+
+  traffic::CongestionMetrics m;
+  m.offered_pps = offered_pps;
+  traffic::apply_utilization(m, g, load, plan);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (batch[f].delivered()) {
+      m.delivered_pps += demands[f];
+    } else if (component[flows[f].source] == component[flows[f].destination]) {
+      m.lost_pps += demands[f];
+    } else {
+      m.stranded_pps += demands[f];
+    }
+  }
+  return m;
+}
+
+void validate(const graph::Graph& g, const traffic::TrafficMatrix& demand,
+              const traffic::CapacityPlan& plan,
+              const std::vector<NamedFactory>& protocols) {
+  if (protocols.empty()) {
+    throw std::invalid_argument("run_traffic_experiment: no protocols given");
+  }
+  if (demand.node_count() != g.node_count()) {
+    throw std::invalid_argument(
+        "run_traffic_experiment: demand matrix does not cover the graph");
+  }
+  if (plan.edge_count() != g.edge_count()) {
+    throw std::invalid_argument(
+        "run_traffic_experiment: capacity plan does not cover the graph");
+  }
+}
+
+double sum_in_order(std::span<const double> demands) {
+  double sum = 0.0;
+  for (double d : demands) sum += d;
+  return sum;
+}
+
+}  // namespace
+
+TrafficExperimentResult run_traffic_experiment(
+    const graph::Graph& g, const traffic::TrafficMatrix& demand,
+    const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols) {
+  validate(g, demand, plan, protocols);
+
+  std::vector<sim::FlowSpec> flows;
+  std::vector<double> demands;
+  collect_demand_flows(demand, flows, demands);
+  const double offered = sum_in_order(demands);
+
+  TrafficExperimentResult result;
+  result.scenarios = scenarios.size();
+  result.flows_per_scenario = flows.size();
+  result.protocols.reserve(protocols.size());
+  for (const auto& p : protocols) {
+    ProtocolTraffic pt;
+    pt.name = p.name;
+    pt.per_scenario.reserve(scenarios.size());
+    result.protocols.push_back(std::move(pt));
+  }
+
+  // Reused across scenarios and protocols; once warm, a scenario's routing
+  // allocates nothing beyond the per-scenario metric rows and component ids.
+  sim::BatchResult batch;
+  traffic::LoadMap load;
+  route::ScenarioRoutingCache cache;
+
+  for (const auto& failures : scenarios) {
+    net::Network network(g);
+    for (graph::EdgeId e : failures.elements()) network.fail_link(e);
+    const auto component = graph::connected_components(g, &failures);
+
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      auto& agg = result.protocols[i];
+      agg.per_scenario.push_back(route_cell(g, network, component, protocols[i],
+                                            cache, flows, demands, offered, plan,
+                                            batch, load));
+      agg.total_load.add(load);
+    }
+  }
+  return result;
+}
+
+TrafficExperimentResult run_traffic_experiment(
+    const graph::Graph& g, const traffic::TrafficMatrix& demand,
+    const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor) {
+  validate(g, demand, plan, protocols);
+
+  std::vector<sim::FlowSpec> flows;
+  std::vector<double> demands;
+  collect_demand_flows(demand, flows, demands);
+  const double offered = sum_in_order(demands);
+
+  // One slot per scenario, written by exactly one worker each.
+  struct ScenarioPartial {
+    std::vector<traffic::CongestionMetrics> metrics;    // per protocol
+    std::vector<traffic::LoadMapReduction> loads;       // per protocol, 1 scenario
+  };
+  std::vector<ScenarioPartial> partials(scenarios.size());
+
+  executor.run(scenarios.size(), [&](std::size_t unit, sim::WorkerContext& ctx) {
+    const graph::EdgeSet& failures = scenarios[unit];
+    net::Network network(g);
+    for (graph::EdgeId e : failures.elements()) network.fail_link(e);
+    const auto component = graph::connected_components(g, &failures);
+
+    ScenarioPartial& partial = partials[unit];
+    partial.metrics.reserve(protocols.size());
+    partial.loads.reserve(protocols.size());
+    for (const NamedFactory& factory : protocols) {
+      partial.metrics.push_back(route_cell(g, network, component, factory,
+                                           ctx.routes, flows, demands, offered,
+                                           plan, ctx.batch, ctx.load));
+      traffic::LoadMapReduction cell;
+      cell.add(ctx.load);
+      partial.loads.push_back(std::move(cell));
+    }
+  });
+
+  // Canonical-order merge: appending per-scenario rows and merging the load
+  // reductions in scenario order performs the serial driver's element-wise
+  // additions in the exact same sequence, so the floating-point sums are
+  // bit-identical.
+  TrafficExperimentResult result;
+  result.scenarios = scenarios.size();
+  result.flows_per_scenario = flows.size();
+  result.protocols.reserve(protocols.size());
+  for (const auto& p : protocols) {
+    ProtocolTraffic pt;
+    pt.name = p.name;
+    pt.per_scenario.reserve(scenarios.size());
+    result.protocols.push_back(std::move(pt));
+  }
+  for (ScenarioPartial& partial : partials) {
+    for (std::size_t i = 0; i < partial.metrics.size(); ++i) {
+      auto& agg = result.protocols[i];
+      agg.per_scenario.push_back(partial.metrics[i]);
+      agg.total_load.merge(partial.loads[i]);
+    }
+    // Release each shard's load maps as they merge.
+    std::vector<traffic::LoadMapReduction>().swap(partial.loads);
+  }
+  return result;
+}
+
+}  // namespace pr::analysis

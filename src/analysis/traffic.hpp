@@ -1,0 +1,75 @@
+// Congestion-under-failure sweeps: the traffic-engineering view of the
+// paper's comparison.
+//
+// The stretch and coverage experiments treat every flow as one unweighted
+// probe.  This driver routes a full demand matrix (every ordered pair with
+// non-zero demand) through every failure scenario under every protocol,
+// accumulates demand-weighted per-interface load, and prices each scenario
+// against a capacity plan: max link utilization, overloaded links, and
+// delivered / lost / stranded traffic volume.  Like its siblings it has a
+// serial reference path and a SweepExecutor overload that is bit-identical
+// to it at every thread count (per-scenario units, canonical-order merge).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/stretch.hpp"
+#include "sim/forwarding_engine.hpp"
+#include "traffic/capacity.hpp"
+#include "traffic/congestion.hpp"
+#include "traffic/demand.hpp"
+#include "traffic/load_map.hpp"
+
+namespace pr::analysis {
+
+/// One protocol's outcome across the whole sweep.
+struct ProtocolTraffic {
+  std::string name;
+  /// One entry per scenario, in the caller's scenario order.
+  std::vector<traffic::CongestionMetrics> per_scenario;
+  /// Per-dart load summed over all scenarios in canonical order (where
+  /// rerouted demand concentrates across the sweep), plus the scenario count
+  /// it covers.
+  traffic::LoadMapReduction total_load;
+
+  [[nodiscard]] traffic::CongestionSummary summary() const {
+    return traffic::summarize(per_scenario);
+  }
+};
+
+struct TrafficExperimentResult {
+  std::vector<ProtocolTraffic> protocols;
+  std::size_t scenarios = 0;
+  std::size_t flows_per_scenario = 0;  ///< ordered pairs with non-zero demand
+};
+
+/// The sweep work-list every traffic driver routes: one FlowSpec per ordered
+/// pair with non-zero demand, in the canonical (s, t) order, with the
+/// matching per-flow demand vector.  Exposed so capacity-sizing callers (the
+/// bench's pristine-load pass) build exactly the list the sweep will route.
+void collect_demand_flows(const traffic::TrafficMatrix& demand,
+                          std::vector<sim::FlowSpec>& flows,
+                          std::vector<double>& demands);
+
+/// Routes the demand matrix through every scenario under every protocol and
+/// prices the resulting loads against `plan`.  Scenarios may disconnect the
+/// graph: demand whose destination becomes unreachable is accounted as
+/// stranded (no scheme can deliver it), demand dropped despite a surviving
+/// path as lost.  Serial reference path.
+[[nodiscard]] TrafficExperimentResult run_traffic_experiment(
+    const graph::Graph& g, const traffic::TrafficMatrix& demand,
+    const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols);
+
+/// Parallel sharded variant: scenarios are work units on `executor`, each
+/// routed with the worker's reusable batch and load buffers; per-scenario
+/// metrics and load maps merge in canonical scenario order, so results are
+/// bit-identical to the serial overload for every thread count.
+[[nodiscard]] TrafficExperimentResult run_traffic_experiment(
+    const graph::Graph& g, const traffic::TrafficMatrix& demand,
+    const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor);
+
+}  // namespace pr::analysis

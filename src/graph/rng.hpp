@@ -9,6 +9,20 @@
 
 namespace pr::graph {
 
+/// Deterministic stream splitting -- splitmix64 (Steele et al.), the standard
+/// generator-splitting finaliser: one pass over seed + golden-ratio-spaced
+/// stream index.  Adjacent streams get statistically independent seeds; the
+/// mapping depends only on (seed, stream).  This is the library-wide seeding
+/// discipline: sweep units (sim::split_seed wraps this), demand generators
+/// and any other per-stream randomness derive their Rng seeds here.
+[[nodiscard]] constexpr std::uint64_t split_seed(std::uint64_t seed,
+                                                 std::uint64_t stream) noexcept {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 /// Thin wrapper over mt19937_64 with the handful of draws the library needs.
 class Rng {
  public:

@@ -17,16 +17,34 @@ QueueModel::QueueModel(const Network& net, Config config)
   next_free_.assign(net.graph().dart_count(), 0.0);
 }
 
+QueueModel::QueueModel(const Network& net, Config config,
+                       std::span<const double> edge_rate_bps)
+    : QueueModel(net, config) {
+  if (edge_rate_bps.size() != net.graph().edge_count()) {
+    throw std::invalid_argument("QueueModel: one line rate per edge required");
+  }
+  tx_time_per_dart_.reserve(net.graph().dart_count());
+  for (double rate : edge_rate_bps) {
+    if (rate <= 0) {
+      throw std::invalid_argument("QueueModel: line rates must be positive");
+    }
+    // Both darts of the edge, in dart order (2e, 2e+1).
+    tx_time_per_dart_.push_back(config.packet_bits / rate);
+    tx_time_per_dart_.push_back(config.packet_bits / rate);
+  }
+}
+
 std::optional<SimTime> QueueModel::enqueue(graph::DartId d, SimTime now) {
   SimTime& free_at = next_free_.at(d);
+  const SimTime tx = transmission_time(d);
   const SimTime start = std::max(now, free_at);
   // Packets currently queued ahead = waiting time over per-packet service.
-  const double backlog = (start - now) / tx_time_;
+  const double backlog = (start - now) / tx;
   if (backlog >= static_cast<double>(config_.queue_packets)) {
     ++tail_drops_;
     return std::nullopt;
   }
-  free_at = start + tx_time_;
+  free_at = start + tx;
   return free_at;
 }
 

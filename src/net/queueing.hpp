@@ -12,6 +12,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "net/network.hpp"
@@ -29,12 +30,25 @@ class QueueModel {
   /// `net` must outlive the model.
   QueueModel(const Network& net, Config config);
 
+  /// Per-edge line rates (one bps value per edge, both directions), e.g.
+  /// traffic::CapacityPlan::link_rates_bps(): the event-sim queues then price
+  /// links exactly like the analytic congestion model.  config.link_rate_bps
+  /// is ignored; packet size and buffer depth still come from `config`.
+  /// Throws std::invalid_argument on a size mismatch or non-positive rate.
+  QueueModel(const Network& net, Config config, std::span<const double> edge_rate_bps);
+
   /// Admits a packet to dart `d`'s transmit queue at time `now`.  Returns the
   /// transmission-complete time, or nullopt when the buffer is full.
   [[nodiscard]] std::optional<SimTime> enqueue(graph::DartId d, SimTime now);
 
-  /// Seconds one packet occupies a transmitter.
+  /// Seconds one packet occupies the config-uniform transmitter.
   [[nodiscard]] SimTime transmission_time() const noexcept { return tx_time_; }
+
+  /// Seconds one packet occupies dart `d`'s transmitter (differs from the
+  /// uniform value only under the per-edge constructor).
+  [[nodiscard]] SimTime transmission_time(graph::DartId d) const {
+    return tx_time_per_dart_.empty() ? tx_time_ : tx_time_per_dart_.at(d);
+  }
 
   /// Tail drops so far (the congestion-loss counter).
   [[nodiscard]] std::uint64_t tail_drops() const noexcept { return tail_drops_; }
@@ -48,6 +62,8 @@ class QueueModel {
   const Network* net_;
   Config config_;
   SimTime tx_time_;
+  /// Empty for uniform models; else one service time per dart.
+  std::vector<SimTime> tx_time_per_dart_;
   /// Per dart: when its transmitter becomes idle again.
   std::vector<SimTime> next_free_;
   std::uint64_t tail_drops_ = 0;

@@ -1,21 +1,40 @@
 #include "route/fcp.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace pr::route {
+
+FcpRouting::FcpRouting(const Graph& g, std::size_t cache_capacity)
+    : graph_(&g), capacity_(cache_capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("FcpRouting: cache capacity must be >= 1");
+  }
+}
 
 const graph::ShortestPathTree& FcpRouting::tree_for(const std::vector<EdgeId>& failures,
                                                     NodeId dest) {
   CacheKey key{failures, dest};
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    // Promote to most-recently-used; the node itself (and the reference we
+    // return) does not move.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->tree;
+  }
 
   graph::EdgeSet excluded(graph_->edge_count());
   for (EdgeId e : failures) excluded.insert(e);
   ++spf_computations_;
-  auto [inserted, ok] =
-      cache_.emplace(std::move(key), graph::shortest_paths_to(*graph_, dest, &excluded));
-  return inserted->second;
+  lru_.push_front(Entry{key, graph::shortest_paths_to(*graph_, dest, &excluded)});
+  entries_.emplace(std::move(key), lru_.begin());
+
+  if (entries_.size() > capacity_) {
+    // Coldest entry out; never the one just inserted (capacity >= 1).
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return lru_.front().tree;
 }
 
 net::ForwardingDecision FcpRouting::forward(const net::Network& net, NodeId at,

@@ -9,10 +9,15 @@
 // to the number of carried failures and (b) an SPF computation at every
 // router that sees a new failure list.  This implementation memoises SPF
 // results per (failure list, destination), which mirrors the paper's remark
-// that FCP routers can cache per-flow routing state.
+// that FCP routers can cache per-flow routing state -- and, like a real
+// router's finite FIB memory, bounds the memo with an LRU: the default
+// capacity is far above what any bundled sweep touches (so small sweeps
+// behave exactly as an unbounded cache), while adversarial multi-failure
+// storms evict coldest-first instead of growing without limit.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <utility>
 #include <vector>
@@ -23,10 +28,18 @@
 
 namespace pr::route {
 
+/// Default LRU capacity of the memoised-tree cache: generously above the
+/// distinct (failure list, destination) count of every bundled sweep, so the
+/// bound only bites on workloads that would otherwise grow without limit.
+inline constexpr std::size_t kDefaultFcpCacheCapacity = 4096;
+
 class FcpRouting final : public net::ForwardingProtocol {
  public:
-  /// `g` must outlive the protocol.
-  explicit FcpRouting(const Graph& g) : graph_(&g) {}
+  /// `g` must outlive the protocol.  `cache_capacity` bounds the memoised
+  /// (failure list, destination) trees; must be >= 1 (throws
+  /// std::invalid_argument otherwise).
+  explicit FcpRouting(const Graph& g,
+                      std::size_t cache_capacity = kDefaultFcpCacheCapacity);
 
   [[nodiscard]] net::ForwardingDecision forward(const net::Network& net, NodeId at,
                                                 DartId arrived_over,
@@ -36,22 +49,42 @@ class FcpRouting final : public net::ForwardingProtocol {
 
   /// Number of distinct (failure list, destination) SPF computations so far:
   /// the on-demand computation cost the paper contrasts with PR's zero.
+  /// Recomputations forced by eviction count again.
   [[nodiscard]] std::size_t spf_computations() const noexcept {
     return spf_computations_;
   }
 
   /// Memoised entries currently cached (per-flow state analogue).
-  [[nodiscard]] std::size_t cached_tables() const noexcept { return cache_.size(); }
+  [[nodiscard]] std::size_t cached_tables() const noexcept { return entries_.size(); }
+
+  /// The fixed LRU bound.
+  [[nodiscard]] std::size_t cache_capacity() const noexcept { return capacity_; }
+
+  /// Entries discarded to enforce the bound (0 on every bundled sweep at the
+  /// default capacity).
+  [[nodiscard]] std::size_t evictions() const noexcept { return evictions_; }
 
  private:
   using CacheKey = std::pair<std::vector<EdgeId>, NodeId>;
+  struct Entry {
+    CacheKey key;
+    graph::ShortestPathTree tree;
+  };
 
+  /// The memoised tree for (failures, dest), computed on miss and promoted to
+  /// most-recently-used on hit.  The reference is stable until this entry is
+  /// itself evicted (list nodes do not move), which cannot happen before the
+  /// next tree_for call.
   const graph::ShortestPathTree& tree_for(const std::vector<EdgeId>& failures,
                                           NodeId dest);
 
   const Graph* graph_;
-  std::map<CacheKey, graph::ShortestPathTree> cache_;
+  std::size_t capacity_;
+  /// Most-recently-used first; eviction pops the back.
+  std::list<Entry> lru_;
+  std::map<CacheKey, std::list<Entry>::iterator> entries_;
   std::size_t spf_computations_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace pr::route

@@ -59,8 +59,18 @@ std::vector<FlowSpec> all_pairs_flows(const graph::Graph& g) {
   return flows;
 }
 
-void route_batch(const Network& net, ForwardingProtocol& protocol,
-                 std::span<const FlowSpec> flows, TraceMode mode, BatchResult& out) {
+namespace {
+
+/// The one batch loop both route_batch overloads drive.  The friended public
+/// functions pass BatchResult's internals in, so this stays file-local; the
+/// per-hop hook receives (flow index, FlowState) after every committed hop
+/// (fs.arrived_over is the dart just taken) and compiles away when empty.
+template <typename PerHop>
+void run_flow_batch(const Network& net, ForwardingProtocol& protocol,
+                    std::span<const FlowSpec> flows, TraceMode mode,
+                    std::vector<FlowStats>& stats, std::vector<NodeId>& nodes,
+                    std::vector<std::size_t>& offsets, std::size_t& delivered,
+                    PerHop&& per_hop) {
   const graph::Graph& g = net.graph();
   for (const FlowSpec& flow : flows) {
     if (flow.source >= g.node_count() || flow.destination >= g.node_count()) {
@@ -69,30 +79,42 @@ void route_batch(const Network& net, ForwardingProtocol& protocol,
   }
   const std::uint32_t fallback_ttl = net::default_ttl(g);
 
-  out.clear();
-  out.mode_ = mode;
-  out.stats_.reserve(flows.size());
-  if (mode == TraceMode::kFullTrace) out.offsets_.reserve(flows.size() + 1);
+  stats.reserve(flows.size());
+  if (mode == TraceMode::kFullTrace) offsets.reserve(flows.size() + 1);
 
   const ForwardingEngine engine(net, protocol);
   FlowState fs;  // recycled across flows; FCP-list capacity survives reset()
-  for (const FlowSpec& flow : flows) {
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowSpec& flow = flows[i];
     fs.reset(flow.source, flow.destination,
              flow.ttl == 0 ? fallback_ttl : flow.ttl, flow.traffic_class);
 
     FlowOutcome outcome;
     if (mode == TraceMode::kFullTrace) {
-      out.offsets_.push_back(out.nodes_.size());
-      out.nodes_.push_back(flow.source);
-      outcome = engine.run(fs, [&out](NodeId v) { out.nodes_.push_back(v); });
+      offsets.push_back(nodes.size());
+      nodes.push_back(flow.source);
+      outcome = engine.run(fs, [&](NodeId v) {
+        nodes.push_back(v);
+        per_hop(i, fs);
+      });
     } else {
-      outcome = engine.run(fs);
+      outcome = engine.run(fs, [&](NodeId) { per_hop(i, fs); });
     }
 
-    out.stats_.push_back(FlowStats{outcome.status, outcome.reason, fs.hops, fs.cost});
-    if (outcome.status == DeliveryStatus::kDelivered) ++out.delivered_;
+    stats.push_back(FlowStats{outcome.status, outcome.reason, fs.hops, fs.cost});
+    if (outcome.status == DeliveryStatus::kDelivered) ++delivered;
   }
-  if (mode == TraceMode::kFullTrace) out.offsets_.push_back(out.nodes_.size());
+  if (mode == TraceMode::kFullTrace) offsets.push_back(nodes.size());
+}
+
+}  // namespace
+
+void route_batch(const Network& net, ForwardingProtocol& protocol,
+                 std::span<const FlowSpec> flows, TraceMode mode, BatchResult& out) {
+  out.clear();
+  out.mode_ = mode;
+  run_flow_batch(net, protocol, flows, mode, out.stats_, out.nodes_, out.offsets_,
+                 out.delivered_, [](std::size_t, const FlowState&) {});
 }
 
 BatchResult route_batch(const Network& net, ForwardingProtocol& protocol,
@@ -100,6 +122,22 @@ BatchResult route_batch(const Network& net, ForwardingProtocol& protocol,
   BatchResult out;
   route_batch(net, protocol, flows, mode, out);
   return out;
+}
+
+void route_batch(const Network& net, ForwardingProtocol& protocol,
+                 std::span<const FlowSpec> flows, std::span<const double> demands,
+                 traffic::LoadMap& load, TraceMode mode, BatchResult& out) {
+  if (demands.size() != flows.size()) {
+    throw std::invalid_argument("route_batch: one demand per flow required");
+  }
+  out.clear();
+  out.mode_ = mode;
+  load.reset(net.graph().dart_count());
+  run_flow_batch(net, protocol, flows, mode, out.stats_, out.nodes_, out.offsets_,
+                 out.delivered_,
+                 [&load, demands](std::size_t i, const FlowState& fs) {
+                   load.add(fs.arrived_over, demands[i]);
+                 });
 }
 
 }  // namespace pr::sim

@@ -25,6 +25,7 @@
 
 #include "net/forwarding.hpp"
 #include "net/network.hpp"
+#include "traffic/load_map.hpp"
 
 namespace pr::sim {
 
@@ -193,6 +194,9 @@ class BatchResult {
  private:
   friend void route_batch(const Network&, ForwardingProtocol&,
                           std::span<const FlowSpec>, TraceMode, BatchResult&);
+  friend void route_batch(const Network&, ForwardingProtocol&,
+                          std::span<const FlowSpec>, std::span<const double>,
+                          traffic::LoadMap&, TraceMode, BatchResult&);
 
   std::vector<FlowStats> stats_;
   std::vector<NodeId> nodes_;         // full-trace mode: all sequences, flattened
@@ -217,5 +221,16 @@ void route_batch(const Network& net, ForwardingProtocol& protocol,
 [[nodiscard]] BatchResult route_batch(const Network& net, ForwardingProtocol& protocol,
                                       std::span<const FlowSpec> flows,
                                       TraceMode mode = TraceMode::kStats);
+
+/// Demand-weighted variant: flow f additionally contributes demands[f] packets
+/// per second of offered load to every dart it traverses -- including the
+/// partial path of a dropped flow, whose packets occupy real transmitters
+/// before being lost.  `load` is reset to this batch's load (sized for the
+/// network's graph; capacity is reused, so the hot loop stays allocation-free
+/// once warm).  Routing outcomes in `out` are identical to the plain overload.
+/// Throws std::invalid_argument when demands.size() != flows.size().
+void route_batch(const Network& net, ForwardingProtocol& protocol,
+                 std::span<const FlowSpec> flows, std::span<const double> demands,
+                 traffic::LoadMap& load, TraceMode mode, BatchResult& out);
 
 }  // namespace pr::sim

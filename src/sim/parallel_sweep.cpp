@@ -24,12 +24,9 @@ bool parse_count_arg(const char* raw, std::size_t max_value, std::size_t& out) {
 }
 
 std::uint64_t split_seed(std::uint64_t seed, std::uint64_t stream) {
-  // splitmix64 (Steele et al.), the standard generator-splitting finaliser:
-  // one pass over seed + golden-ratio-spaced stream index.
-  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
+  // The library-wide splitmix64 discipline lives in graph/rng.hpp; this alias
+  // is kept so sweep callers keep one obvious name for unit streams.
+  return graph::split_seed(seed, stream);
 }
 
 std::size_t threads_from_env(std::size_t fallback) {

@@ -32,6 +32,7 @@
 #include "graph/rng.hpp"
 #include "route/scenario_cache.hpp"
 #include "sim/forwarding_engine.hpp"
+#include "traffic/load_map.hpp"
 
 namespace pr::sim {
 
@@ -56,6 +57,11 @@ class WorkerContext {
   std::vector<double> base_costs;
   std::vector<char> flags;
   BatchResult batch;
+
+  /// Reusable per-dart load accumulator for demand-weighted sweeps: the
+  /// load-accumulating route_batch overload resets it per call, so once warm
+  /// a traffic sweep adds no per-scenario heap traffic.
+  traffic::LoadMap load;
 
   /// Per-worker scenario routing cache: protocols that reconverge borrow
   /// delta-repaired tables from here instead of building a fresh RoutingDb

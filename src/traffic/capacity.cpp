@@ -1,0 +1,78 @@
+#include "traffic/capacity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pr::traffic {
+
+namespace {
+
+void check_capacity(double pps) {
+  if (!(pps > 0.0) || !std::isfinite(pps)) {
+    throw std::invalid_argument("CapacityPlan: capacity must be finite and > 0");
+  }
+}
+
+}  // namespace
+
+CapacityPlan CapacityPlan::uniform(const Graph& g, double pps) {
+  check_capacity(pps);
+  CapacityPlan plan;
+  plan.pps_.assign(g.edge_count(), pps);
+  return plan;
+}
+
+CapacityPlan CapacityPlan::from_weights(const Graph& g, double pps_per_unit_weight) {
+  check_capacity(pps_per_unit_weight);
+  CapacityPlan plan;
+  plan.pps_.reserve(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    plan.pps_.push_back(pps_per_unit_weight * g.edge_weight(e));
+  }
+  return plan;
+}
+
+CapacityPlan CapacityPlan::from_queue_config(const Graph& g,
+                                             const net::QueueModel::Config& cfg) {
+  if (!(cfg.link_rate_bps > 0.0) || !(cfg.packet_bits > 0.0)) {
+    throw std::invalid_argument(
+        "CapacityPlan: queue config rate and packet size must be positive");
+  }
+  return uniform(g, cfg.link_rate_bps / cfg.packet_bits);
+}
+
+void CapacityPlan::set_capacity_pps(EdgeId e, double pps) {
+  check_capacity(pps);
+  pps_.at(e) = pps;
+}
+
+std::vector<double> CapacityPlan::link_rates_bps(double packet_bits) const {
+  if (!(packet_bits > 0.0)) {
+    throw std::invalid_argument("CapacityPlan: packet size must be positive");
+  }
+  std::vector<double> rates;
+  rates.reserve(pps_.size());
+  for (double pps : pps_) rates.push_back(pps * packet_bits);
+  return rates;
+}
+
+net::QueueModel::Config CapacityPlan::queue_config(double packet_bits,
+                                                   std::size_t queue_packets) const {
+  if (pps_.empty()) {
+    throw std::logic_error("CapacityPlan::queue_config: empty plan");
+  }
+  for (double pps : pps_) {
+    if (pps != pps_.front()) {
+      throw std::logic_error(
+          "CapacityPlan::queue_config: plan is not uniform; use link_rates_bps() "
+          "with QueueModel's per-edge constructor");
+    }
+  }
+  net::QueueModel::Config cfg;
+  cfg.link_rate_bps = pps_.front() * packet_bits;
+  cfg.packet_bits = packet_bits;
+  cfg.queue_packets = queue_packets;
+  return cfg;
+}
+
+}  // namespace pr::traffic

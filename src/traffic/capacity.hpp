@@ -1,0 +1,65 @@
+// Per-link capacity plan: the one place link speeds are decided, shared by
+// the analytic congestion model (traffic/congestion.hpp) and the event
+// simulator's interface queues (net::QueueModel).
+//
+// Both consumers price a link identically: a link of capacity C pps serialises
+// packets at C per second per direction, so the batch-sim utilization
+// load/C and the event-sim queue with link_rate_bps = C * packet_bits
+// describe the same interface.  Plans come from uniform rates, from link
+// weights (weight as a capacity proxy), or from an existing QueueModel
+// config; they convert back to per-edge line rates for per-edge queues.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/queueing.hpp"
+
+namespace pr::traffic {
+
+using graph::EdgeId;
+using graph::Graph;
+
+class CapacityPlan {
+ public:
+  CapacityPlan() = default;
+
+  /// Every link gets `pps` capacity per direction.
+  [[nodiscard]] static CapacityPlan uniform(const Graph& g, double pps);
+
+  /// capacity(e) = pps_per_unit_weight * weight(e): link weights double as
+  /// capacity annotations (heavier trunk = more capacity).
+  [[nodiscard]] static CapacityPlan from_weights(const Graph& g,
+                                                 double pps_per_unit_weight);
+
+  /// The plan a uniform QueueModel::Config describes: every link serialises
+  /// link_rate_bps / packet_bits packets per second.
+  [[nodiscard]] static CapacityPlan from_queue_config(
+      const Graph& g, const net::QueueModel::Config& cfg);
+
+  [[nodiscard]] std::size_t edge_count() const noexcept { return pps_.size(); }
+  [[nodiscard]] double capacity_pps(EdgeId e) const { return pps_.at(e); }
+
+  /// Overrides one link (both directions).  Throws std::invalid_argument on
+  /// non-positive or non-finite rates.
+  void set_capacity_pps(EdgeId e, double pps);
+
+  /// Per-edge line rates in bits per second for a given packet size -- the
+  /// vector net::QueueModel's per-edge constructor takes, so event-sim queues
+  /// price exactly the links this plan describes.
+  [[nodiscard]] std::vector<double> link_rates_bps(double packet_bits) const;
+
+  /// Uniform-plan shortcut back to a QueueModel::Config (throws
+  /// std::logic_error when capacities differ across links -- use
+  /// link_rates_bps() + the per-edge QueueModel constructor then).
+  [[nodiscard]] net::QueueModel::Config queue_config(double packet_bits = 8000,
+                                                     std::size_t queue_packets = 64) const;
+
+  friend bool operator==(const CapacityPlan&, const CapacityPlan&) = default;
+
+ private:
+  std::vector<double> pps_;
+};
+
+}  // namespace pr::traffic

@@ -1,0 +1,47 @@
+#include "traffic/congestion.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pr::traffic {
+
+void apply_utilization(CongestionMetrics& m, const graph::Graph& g,
+                       const LoadMap& load, const CapacityPlan& plan) {
+  if (load.dart_count() != g.dart_count()) {
+    throw std::invalid_argument("apply_utilization: load map does not cover the graph");
+  }
+  if (plan.edge_count() != g.edge_count()) {
+    throw std::invalid_argument("apply_utilization: plan does not cover the graph");
+  }
+  m.max_utilization = 0.0;
+  m.overloaded_links = 0;
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const double capacity = plan.capacity_pps(e);
+    const double fwd = load.load(graph::make_dart(e, 0)) / capacity;
+    const double rev = load.load(graph::make_dart(e, 1)) / capacity;
+    const double worst = std::max(fwd, rev);
+    m.max_utilization = std::max(m.max_utilization, worst);
+    if (worst > 1.0) ++m.overloaded_links;
+  }
+}
+
+CongestionSummary summarize(std::span<const CongestionMetrics> per_scenario) {
+  CongestionSummary s;
+  s.scenarios = per_scenario.size();
+  for (const CongestionMetrics& m : per_scenario) {
+    s.worst_max_utilization = std::max(s.worst_max_utilization, m.max_utilization);
+    s.mean_max_utilization += m.max_utilization;
+    s.overloaded_links += m.overloaded_links;
+    if (m.overloaded_links > 0) ++s.overloaded_scenarios;
+    s.offered_pps += m.offered_pps;
+    s.delivered_pps += m.delivered_pps;
+    s.lost_pps += m.lost_pps;
+    s.stranded_pps += m.stranded_pps;
+  }
+  if (s.scenarios > 0) {
+    s.mean_max_utilization /= static_cast<double>(s.scenarios);
+  }
+  return s;
+}
+
+}  // namespace pr::traffic

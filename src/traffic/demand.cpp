@@ -1,0 +1,296 @@
+#include "traffic/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace pr::traffic {
+
+namespace {
+
+void check_rate(double pps) {
+  if (!(pps >= 0.0) || !std::isfinite(pps)) {
+    throw std::invalid_argument("TrafficMatrix: demand must be finite and >= 0");
+  }
+}
+
+[[noreturn]] void fail_line(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("demand csv line " + std::to_string(line_no) + ": " +
+                              what);
+}
+
+/// Resolves a CSV endpoint: a node label, or the "n<id>" display name an
+/// unlabeled node serialises as.
+NodeId resolve_node(const Graph& g, const std::string& token, std::size_t line_no) {
+  if (const auto v = g.find_node(token)) return *v;
+  if (token.size() >= 2 && token[0] == 'n' &&
+      std::all_of(token.begin() + 1, token.end(),
+                  [](char c) { return c >= '0' && c <= '9'; })) {
+    try {
+      const unsigned long id = std::stoul(token.substr(1));
+      if (id < g.node_count() && g.node_label(static_cast<NodeId>(id)).empty()) {
+        return static_cast<NodeId>(id);
+      }
+    } catch (const std::exception&) {
+      // falls through to the error below
+    }
+  }
+  fail_line(line_no, "unknown node '" + token + "'");
+}
+
+}  // namespace
+
+TrafficMatrix::TrafficMatrix(std::size_t node_count)
+    : n_(node_count), pps_(node_count * node_count, 0.0) {}
+
+void TrafficMatrix::set_demand(NodeId s, NodeId t, double pps) {
+  if (s == t) throw std::invalid_argument("TrafficMatrix: self-demand (s == t)");
+  check_rate(pps);
+  pps_.at(index(s, t)) = pps;
+}
+
+void TrafficMatrix::add_demand(NodeId s, NodeId t, double pps) {
+  if (s == t) throw std::invalid_argument("TrafficMatrix: self-demand (s == t)");
+  check_rate(pps);
+  pps_.at(index(s, t)) += pps;
+}
+
+double TrafficMatrix::total_pps() const noexcept {
+  double sum = 0.0;
+  for (double v : pps_) sum += v;
+  return sum;
+}
+
+std::size_t TrafficMatrix::pair_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(pps_.begin(), pps_.end(), [](double v) { return v != 0.0; }));
+}
+
+void TrafficMatrix::scale_to_total(double target_pps) {
+  if (!(target_pps >= 0.0) || !std::isfinite(target_pps)) {
+    throw std::invalid_argument("TrafficMatrix: scale target must be finite and >= 0");
+  }
+  const double total = total_pps();
+  if (total <= 0.0) {
+    throw std::invalid_argument("TrafficMatrix: cannot rescale an all-zero matrix");
+  }
+  const double factor = target_pps / total;
+  for (double& v : pps_) v *= factor;
+}
+
+TrafficMatrix uniform_demand(const Graph& g, double total_pps) {
+  check_rate(total_pps);
+  const std::size_t n = g.node_count();
+  if (n < 2) throw std::invalid_argument("uniform_demand: need at least two nodes");
+  TrafficMatrix m(n);
+  const double per_pair = total_pps / static_cast<double>(n * (n - 1));
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s != t) m.set_demand(s, t, per_pair);
+    }
+  }
+  return m;
+}
+
+TrafficMatrix gravity_demand(const Graph& g, double total_pps, GravityMass mass) {
+  check_rate(total_pps);
+  const std::size_t n = g.node_count();
+  if (n < 2) throw std::invalid_argument("gravity_demand: need at least two nodes");
+
+  std::vector<double> masses(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (mass == GravityMass::kDegree) {
+      masses[v] = static_cast<double>(g.degree(v));
+    } else {
+      for (graph::DartId d : g.out_darts(v)) {
+        masses[v] += g.edge_weight(graph::dart_edge(d));
+      }
+    }
+  }
+
+  double norm = 0.0;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s != t) norm += masses[s] * masses[t];
+    }
+  }
+  if (norm <= 0.0) {
+    throw std::invalid_argument("gravity_demand: all node masses are zero");
+  }
+
+  TrafficMatrix m(n);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s != t) m.set_demand(s, t, total_pps * masses[s] * masses[t] / norm);
+    }
+  }
+  return m;
+}
+
+TrafficMatrix hotspot_demand(const Graph& g, double total_pps, std::size_t hotspots,
+                             double hot_fraction, graph::Rng& rng) {
+  check_rate(total_pps);
+  const std::size_t n = g.node_count();
+  if (n < 2) throw std::invalid_argument("hotspot_demand: need at least two nodes");
+  if (hotspots == 0 || hotspots > n) {
+    throw std::invalid_argument("hotspot_demand: hotspots must be in [1, node count]");
+  }
+  if (!(hot_fraction >= 0.0) || !(hot_fraction <= 1.0)) {
+    throw std::invalid_argument("hotspot_demand: hot_fraction must be in [0, 1]");
+  }
+
+  // Distinct sinks, drawn in rng order (deterministic in the seed).
+  std::vector<std::uint8_t> is_hot(n, 0);
+  std::vector<NodeId> sinks;
+  sinks.reserve(hotspots);
+  while (sinks.size() < hotspots) {
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (is_hot[v] == 0) {
+      is_hot[v] = 1;
+      sinks.push_back(v);
+    }
+  }
+
+  TrafficMatrix m = uniform_demand(g, total_pps * (1.0 - hot_fraction));
+  const double hot_total = total_pps * hot_fraction;
+  const double per_flow =
+      hot_total / static_cast<double>(hotspots * (n - 1));  // sources per sink
+  for (NodeId sink : sinks) {
+    for (NodeId s = 0; s < n; ++s) {
+      if (s != sink) m.add_demand(s, sink, per_flow);
+    }
+  }
+  return m;
+}
+
+std::string demand_to_csv(const Graph& g, const TrafficMatrix& m) {
+  if (m.node_count() != g.node_count()) {
+    throw std::invalid_argument("demand_to_csv: matrix/graph node count mismatch");
+  }
+  // Round-trip exactness guards, checked for every node that carries demand:
+  //   * an unlabeled node serialises as its "n<id>" display name and the
+  //     parser resolves labels first, so if some OTHER node carries that
+  //     string as its label the record would silently re-read as that node;
+  //   * a label containing the CSV metacharacters (',' splits the record,
+  //     '#' truncates it as a comment, newlines break framing) or
+  //     surrounding whitespace (trimmed on parse) would not re-read as the
+  //     same string.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    bool involved = false;
+    for (NodeId u = 0; u < g.node_count() && !involved; ++u) {
+      involved = (u != v) && (m.demand(v, u) != 0.0 || m.demand(u, v) != 0.0);
+    }
+    if (!involved) continue;
+
+    const std::string& label = g.node_label(v);
+    if (label.empty()) {
+      if (g.find_node(g.display_name(v)).has_value()) {
+        throw std::invalid_argument(
+            "demand_to_csv: unlabeled node " + std::to_string(v) +
+            "'s display name '" + g.display_name(v) +
+            "' collides with another node's label; label the node to "
+            "serialise its demand unambiguously");
+      }
+      continue;
+    }
+    const bool has_meta =
+        label.find_first_of(",#\n\r") != std::string::npos;
+    const bool has_edge_space = label.front() == ' ' || label.front() == '\t' ||
+                                label.back() == ' ' || label.back() == '\t';
+    if (has_meta || has_edge_space) {
+      throw std::invalid_argument(
+          "demand_to_csv: label '" + label +
+          "' contains CSV metacharacters or surrounding whitespace and would "
+          "not round-trip; rename the node to serialise its demand");
+    }
+  }
+  std::ostringstream out;
+  out << "# demand matrix: " << m.node_count() << " nodes, " << m.pair_count()
+      << " pairs\n";
+  out << std::setprecision(17);  // doubles round-trip bit-exactly
+  for (NodeId s = 0; s < m.node_count(); ++s) {
+    for (NodeId t = 0; t < m.node_count(); ++t) {
+      if (s == t || m.demand(s, t) == 0.0) continue;
+      out << g.display_name(s) << "," << g.display_name(t) << "," << m.demand(s, t)
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+TrafficMatrix demand_from_csv(const Graph& g, std::string_view text) {
+  TrafficMatrix m(g.node_count());
+  // Seen-pair tracking independent of the rates, so a zero-rate record still
+  // claims its pair (the duplicate contract holds regardless of values).
+  std::vector<std::uint8_t> seen(g.node_count() * g.node_count(), 0);
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    // Trim surrounding whitespace; blank lines are fine.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t' ||
+                             line.front() == '\r')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) continue;
+
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = line.find(',', start);
+      std::string_view field = line.substr(
+          start, comma == std::string_view::npos ? std::string_view::npos
+                                                 : comma - start);
+      while (!field.empty() && (field.front() == ' ' || field.front() == '\t')) {
+        field.remove_prefix(1);
+      }
+      while (!field.empty() && (field.back() == ' ' || field.back() == '\t')) {
+        field.remove_suffix(1);
+      }
+      fields.emplace_back(field);
+      if (comma == std::string_view::npos) break;
+      start = comma + 1;
+    }
+    if (fields.size() != 3) fail_line(line_no, "expected 'src,dst,pps'");
+
+    const NodeId s = resolve_node(g, fields[0], line_no);
+    const NodeId t = resolve_node(g, fields[1], line_no);
+    if (s == t) fail_line(line_no, "self-pair '" + fields[0] + "'");
+
+    double pps = 0.0;
+    try {
+      std::size_t consumed = 0;
+      pps = std::stod(fields[2], &consumed);
+      if (consumed != fields[2].size()) throw std::invalid_argument("trailing junk");
+    } catch (const std::exception&) {
+      fail_line(line_no, "bad rate '" + fields[2] + "'");
+    }
+    if (!(pps >= 0.0) || !std::isfinite(pps)) {
+      fail_line(line_no, "rate must be finite and >= 0");
+    }
+    std::uint8_t& pair_seen = seen[static_cast<std::size_t>(s) * g.node_count() + t];
+    if (pair_seen != 0) {
+      fail_line(line_no, "duplicate pair " + fields[0] + " -> " + fields[1]);
+    }
+    pair_seen = 1;
+    m.set_demand(s, t, pps);
+  }
+  return m;
+}
+
+}  // namespace pr::traffic

@@ -1,0 +1,114 @@
+// Demand matrices: who sends how much traffic to whom, in packets per second.
+//
+// The paper prices outages in traffic volume ("a heavily loaded OC-192 ...
+// more than a quarter of a million packets"), so a workload is more than a
+// set of probe pairs: every ordered (source, destination) pair carries a
+// demand, and a failure's cost is the demand it strands or displaces.  This
+// header provides the dense matrix plus the standard generator family used by
+// traffic-engineering studies:
+//   * uniform  -- every ordered pair carries the same rate;
+//   * gravity  -- demand(s,t) proportional to mass(s) * mass(t), with node
+//                 masses taken from degree (PoP size proxy) or incident link
+//                 weight (capacity proxy);
+//   * hotspot  -- a few randomly drawn sink nodes attract a configurable
+//                 fraction of the total demand (content/datacenter skew);
+//   * CSV      -- operator-supplied matrices, round-tripping exactly.
+// All stochastic choices draw from an explicitly seeded graph::Rng, following
+// the library-wide splitmix64 seeding discipline (graph::split_seed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/rng.hpp"
+
+namespace pr::traffic {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Dense src x dst demand matrix in packets per second.  The diagonal is
+/// identically zero (a router does not send traffic to itself), and all
+/// entries are non-negative and finite.
+class TrafficMatrix {
+ public:
+  TrafficMatrix() = default;
+  /// All-zero matrix over `node_count` nodes.
+  explicit TrafficMatrix(std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+
+  [[nodiscard]] double demand(NodeId s, NodeId t) const { return pps_.at(index(s, t)); }
+
+  /// Sets one entry.  Throws std::invalid_argument for s == t, negative or
+  /// non-finite rates; std::out_of_range for bad endpoints.
+  void set_demand(NodeId s, NodeId t, double pps);
+  void add_demand(NodeId s, NodeId t, double pps);
+
+  /// Sum of all entries.
+  [[nodiscard]] double total_pps() const noexcept;
+
+  /// Ordered pairs with non-zero demand.
+  [[nodiscard]] std::size_t pair_count() const noexcept;
+
+  /// Rescales every entry so total_pps() == target.  Throws
+  /// std::invalid_argument when the matrix is all-zero or target is negative.
+  void scale_to_total(double target_pps);
+
+  /// Row-major flat view (index s * node_count + t), for tests and reports.
+  [[nodiscard]] std::span<const double> flat() const noexcept { return pps_; }
+
+  friend bool operator==(const TrafficMatrix&, const TrafficMatrix&) = default;
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId s, NodeId t) const {
+    if (s >= n_ || t >= n_) throw std::out_of_range("TrafficMatrix: node out of range");
+    return static_cast<std::size_t>(s) * n_ + t;
+  }
+
+  std::size_t n_ = 0;
+  std::vector<double> pps_;
+};
+
+/// Every ordered pair carries total_pps / (n * (n-1)).
+[[nodiscard]] TrafficMatrix uniform_demand(const Graph& g, double total_pps);
+
+/// Node-mass choice for the gravity model.
+enum class GravityMass : std::uint8_t {
+  kDegree,  ///< interface count (PoP size proxy; the classic choice)
+  kWeight,  ///< sum of incident link weights (capacity proxy, ablation)
+};
+
+/// Gravity model: demand(s,t) = total_pps * m_s * m_t / sum_{a != b} m_a m_b.
+/// Deterministic in (graph, mass kind).
+[[nodiscard]] TrafficMatrix gravity_demand(const Graph& g, double total_pps,
+                                           GravityMass mass = GravityMass::kDegree);
+
+/// Hotspot skew: `hotspots` distinct sink nodes drawn from `rng` attract
+/// `hot_fraction` of total_pps (split uniformly over sources and hotspots);
+/// the remainder is spread uniformly over all ordered pairs.  Deterministic
+/// in the rng state, per the seeding discipline.
+[[nodiscard]] TrafficMatrix hotspot_demand(const Graph& g, double total_pps,
+                                           std::size_t hotspots, double hot_fraction,
+                                           graph::Rng& rng);
+
+/// CSV serialisation: one "src,dst,pps" record per line, '#' starts a
+/// comment, endpoints are node display names (labels, or "n<id>" for
+/// unlabeled nodes; on parse, labels take precedence).  Writing uses max
+/// precision so matrices round-trip bit-exactly, and throws
+/// std::invalid_argument when an unlabeled node with demand has a display
+/// name that collides with another node's label (the record would re-read
+/// ambiguously).
+[[nodiscard]] std::string demand_to_csv(const Graph& g, const TrafficMatrix& m);
+
+/// Parses the format above against an existing topology.  Throws
+/// std::invalid_argument with a line number on malformed records, unknown
+/// nodes, self-pairs, negative rates, or duplicate entries.
+[[nodiscard]] TrafficMatrix demand_from_csv(const Graph& g, std::string_view text);
+
+}  // namespace pr::traffic

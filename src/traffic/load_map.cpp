@@ -1,0 +1,14 @@
+#include "traffic/load_map.hpp"
+
+#include <stdexcept>
+
+namespace pr::traffic {
+
+void LoadMap::merge(const LoadMap& other) {
+  if (other.pps_.size() != pps_.size()) {
+    throw std::invalid_argument("LoadMap::merge: dart count mismatch");
+  }
+  for (std::size_t d = 0; d < pps_.size(); ++d) pps_[d] += other.pps_[d];
+}
+
+}  // namespace pr::traffic

@@ -153,6 +153,67 @@ TEST(Fcp, MemoisesSpfComputations) {
   (void)net::route_packet(network, fcp, 1, 5);  // same flow: all cache hits
   EXPECT_EQ(fcp.spf_computations(), first_round);
   EXPECT_GT(fcp.cached_tables(), 0U);
+  // At the default capacity no bundled sweep ever evicts.
+  EXPECT_EQ(fcp.evictions(), 0U);
+  EXPECT_EQ(fcp.cache_capacity(), route::kDefaultFcpCacheCapacity);
+}
+
+TEST(Fcp, CacheCapacityValidation) {
+  const auto g = graph::ring(4);
+  EXPECT_THROW(FcpRouting(g, 0), std::invalid_argument);
+}
+
+TEST(Fcp, LruBoundCapsCacheAndCountsEvictions) {
+  // All-pairs over many failure scenarios generates far more distinct
+  // (failure list, destination) keys than a 4-entry cache holds: the bound
+  // must cap cached_tables(), count the evictions, and keep every routing
+  // outcome identical to the effectively-unbounded default.
+  graph::Rng rng(91);
+  const auto g = graph::random_two_edge_connected(9, 5, rng);
+  const auto scenarios = net::sample_connected_failures(g, 2, 12, rng);
+
+  FcpRouting unbounded(g);
+  FcpRouting bounded(g, 4);
+  for (const auto& failures : scenarios) {
+    net::Network network(g);
+    for (auto e : failures.elements()) network.fail_link(e);
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      for (NodeId t = 0; t < g.node_count(); ++t) {
+        if (s == t) continue;
+        const auto reference = net::route_packet(network, unbounded, s, t);
+        const auto capped = net::route_packet(network, bounded, s, t);
+        EXPECT_EQ(capped.delivered(), reference.delivered()) << "s=" << s << " t=" << t;
+        EXPECT_EQ(capped.hops, reference.hops) << "s=" << s << " t=" << t;
+        EXPECT_EQ(capped.cost, reference.cost) << "s=" << s << " t=" << t;
+      }
+    }
+    EXPECT_LE(bounded.cached_tables(), 4U);
+  }
+  EXPECT_GT(bounded.evictions(), 0U);
+  // Evictions force recomputation: strictly more SPF runs than unbounded.
+  EXPECT_GT(bounded.spf_computations(), unbounded.spf_computations());
+  EXPECT_EQ(unbounded.evictions(), 0U);
+}
+
+TEST(Fcp, LruKeepsHotEntryAtCapacityOne) {
+  // Capacity 1 is the degenerate corner: the just-computed tree must survive
+  // long enough to forward with, and repeated identical flows stay hits.
+  const auto g = graph::ring(5);
+  FcpRouting fcp(g, 1);
+  net::Network network(g);
+  network.fail_link(*g.find_edge(0, 1));
+  const auto first = net::route_packet(network, fcp, 0, 1);
+  ASSERT_TRUE(first.delivered());
+  const auto spf_after_first = fcp.spf_computations();
+  const auto again = net::route_packet(network, fcp, 0, 1);
+  ASSERT_TRUE(again.delivered());
+  EXPECT_EQ(again.hops, first.hops);
+  EXPECT_LE(fcp.cached_tables(), 1U);
+  // The flow alternates between the empty-list and learned-failure keys, so a
+  // 1-entry cache thrashes: the repeat pays the same computations again.
+  // Correctness is unchanged; only the computation count degrades.
+  EXPECT_EQ(fcp.spf_computations(), 2 * spf_after_first);
+  EXPECT_GT(fcp.evictions(), 0U);
 }
 
 TEST(Lfa, CoverageIsPartialOnAbilene) {
