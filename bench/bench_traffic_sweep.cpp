@@ -12,13 +12,23 @@
 // single-link sweep is first checked bit-identical to the serial reference
 // (the determinism contract is part of what this bench certifies).
 //
-// Emits BENCH_traffic_sweep.json (also printed):
+// Every sweep now runs twice: once through the full re-route oracle and once
+// through the affected-flow incremental core (pristine FlowIncidenceIndex +
+// canonical-order replay), asserting the two bit-identical before reporting
+// the timing ratio and the affected-flow fraction the incremental path
+// actually re-routed.
+//
+// Emits BENCH_traffic_sweep.json (also printed); schema is additive over the
+// pre-incremental version ("ms" is still the full-re-route sweep time):
 //
 //   { "bench": "traffic_sweep", "total_demand_pps": ..., ...,
 //     "topologies": [ { "topology": "abilene", ..., "sweeps": [
-//       { "failures": 1, "scenarios": S, "protocols": [
+//       { "failures": 1, "scenarios": S, "ms": ..., "ms_incremental": ...,
+//         "speedup_incremental": ..., "affected_flow_fraction": ...,
+//         "protocols": [
 //         { "protocol": "Packet Re-cycling", "worst_max_utilization": ...,
-//           "overloaded_links": ..., "stranded_pps": ..., ... }, ... ] }, ... ] } ] }
+//           "overloaded_links": ..., "stranded_pps": ...,
+//           "rerouted_flows": ..., ... }, ... ] }, ... ] } ] }
 //
 //   $ ./bench_traffic_sweep [threads] [dual-scenario cap, 0 = none]
 #include <algorithm>
@@ -67,19 +77,20 @@ traffic::LoadMap pristine_load(const graph::Graph& g,
   return load;
 }
 
-void require_identical(const analysis::TrafficExperimentResult& serial,
-                       const analysis::TrafficExperimentResult& parallel) {
-  const auto fail = [](const char* what) {
-    throw std::runtime_error(std::string("parallel traffic sweep diverged from "
-                                         "serial: ") +
-                             what);
+void require_identical(const analysis::TrafficExperimentResult& reference,
+                       const analysis::TrafficExperimentResult& candidate,
+                       const char* label) {
+  const auto fail = [label](const char* what) {
+    throw std::runtime_error(std::string(label) + ": " + what);
   };
-  if (parallel.protocols.size() != serial.protocols.size()) fail("protocol count");
-  for (std::size_t i = 0; i < serial.protocols.size(); ++i) {
-    if (parallel.protocols[i].per_scenario != serial.protocols[i].per_scenario) {
+  if (candidate.protocols.size() != reference.protocols.size()) {
+    fail("protocol count");
+  }
+  for (std::size_t i = 0; i < reference.protocols.size(); ++i) {
+    if (candidate.protocols[i].per_scenario != reference.protocols[i].per_scenario) {
       fail("per-scenario metrics");  // bit-exact doubles
     }
-    if (parallel.protocols[i].total_load != serial.protocols[i].total_load) {
+    if (candidate.protocols[i].total_load != reference.protocols[i].total_load) {
       fail("total load map");
     }
   }
@@ -98,15 +109,25 @@ void emit_protocols(std::ostringstream& json, std::ostream& table,
          << ", \"offered_pps\": " << s.offered_pps
          << ", \"delivered_pps\": " << s.delivered_pps
          << ", \"lost_pps\": " << s.lost_pps
-         << ", \"stranded_pps\": " << s.stranded_pps << " }";
+         << ", \"stranded_pps\": " << s.stranded_pps
+         << ", \"rerouted_flows\": " << p.rerouted_flows
+         << ", \"affected_fraction\": " << result.rerouted_fraction(p) << " }";
     first = false;
 
     table << "  " << std::left << std::setw(26) << p.name << std::right << std::fixed
           << std::setprecision(3) << std::setw(10) << s.worst_max_utilization
           << std::setw(10) << s.mean_max_utilization << std::setw(9)
           << s.overloaded_links << std::setprecision(0) << std::setw(14)
-          << s.lost_pps << std::setw(14) << s.stranded_pps << "\n";
+          << s.lost_pps << std::setw(14) << s.stranded_pps << std::setprecision(3)
+          << std::setw(10) << result.rerouted_fraction(p) << "\n";
   }
+}
+
+double elapsed_ms(Clock::time_point start) {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                 Clock::now() - start)
+                                 .count()) /
+         1e3;
 }
 
 }  // namespace
@@ -191,16 +212,37 @@ int main(int argc, char** argv) {
       sweeps.push_back({2, std::move(duals)});
     }
 
+    // Untimed warmup of both modes on the cheapest sweep: the executor's
+    // per-worker state (pristine ScenarioRoutingCache builds, batch / load /
+    // incidence buffer growth) is paid here, once, so the timed comparison
+    // below measures the algorithmic difference rather than which mode ran
+    // first on cold workers.
+    (void)analysis::run_traffic_experiment(
+        g, demand, plan, sweeps.front().scenarios, protocols, executor,
+        analysis::TrafficSweepMode::kFullReroute);
+    (void)analysis::run_traffic_experiment(
+        g, demand, plan, sweeps.front().scenarios, protocols, executor,
+        analysis::TrafficSweepMode::kIncremental);
+
     bool first_sweep = true;
     for (const Sweep& sweep : sweeps) {
-      const auto start = Clock::now();
+      const auto full_start = Clock::now();
+      const auto full = analysis::run_traffic_experiment(
+          g, demand, plan, sweep.scenarios, protocols, executor,
+          analysis::TrafficSweepMode::kFullReroute);
+      const double ms_full = elapsed_ms(full_start);
+
+      const auto inc_start = Clock::now();
       const auto result = analysis::run_traffic_experiment(
-          g, demand, plan, sweep.scenarios, protocols, executor);
-      const double ms =
-          static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
-                                  Clock::now() - start)
-                                  .count()) /
-          1e3;
+          g, demand, plan, sweep.scenarios, protocols, executor,
+          analysis::TrafficSweepMode::kIncremental);
+      const double ms_inc = elapsed_ms(inc_start);
+
+      // The incremental core must reproduce the oracle bit for bit on every
+      // sweep -- the speedup below is only worth reporting if it does.
+      require_identical(full, result,
+                        "incremental traffic sweep diverged from the full "
+                        "re-route oracle");
 
       // Determinism guard on the cheapest sweep: the executor result must be
       // bit-identical to the serial reference path.
@@ -208,20 +250,34 @@ int main(int argc, char** argv) {
         require_identical(
             analysis::run_traffic_experiment(g, demand, plan, sweep.scenarios,
                                              protocols),
-            result);
+            result, "parallel traffic sweep diverged from serial");
       }
 
+      double affected_fraction = 0.0;
+      for (const auto& p : result.protocols) {
+        affected_fraction += result.rerouted_fraction(p);
+      }
+      affected_fraction /= static_cast<double>(result.protocols.size());
+      const double speedup = ms_inc > 0.0 ? ms_full / ms_inc : 0.0;
+
       std::cout << " " << sweep.failures << "-link sweep, " << sweep.scenarios.size()
-                << " scenarios (" << std::fixed << std::setprecision(0) << ms
-                << " ms):\n  " << std::left << std::setw(26) << "protocol" << std::right
+                << " scenarios: full " << std::fixed << std::setprecision(0)
+                << ms_full << " ms, incremental " << ms_inc << " ms ("
+                << std::setprecision(2) << speedup << "x, affected fraction "
+                << std::setprecision(3) << affected_fraction << "):\n  "
+                << std::left << std::setw(26) << "protocol" << std::right
                 << std::setw(10) << "worst-U" << std::setw(10) << "mean-U"
                 << std::setw(9) << "overld" << std::setw(14) << "lost-pps"
-                << std::setw(14) << "stranded-pps" << "\n";
+                << std::setw(14) << "stranded-pps" << std::setw(10) << "affected"
+                << "\n";
 
       json << (first_sweep ? "" : ",") << "\n        { \"failures\": "
            << sweep.failures << ", \"scenarios\": " << sweep.scenarios.size()
            << ", \"flows_per_scenario\": " << result.flows_per_scenario
-           << ", \"ms\": " << ms << ",\n          \"protocols\": [";
+           << ", \"ms\": " << ms_full << ", \"ms_incremental\": " << ms_inc
+           << ", \"speedup_incremental\": " << speedup
+           << ", \"affected_flow_fraction\": " << affected_fraction
+           << ",\n          \"protocols\": [";
       emit_protocols(json, std::cout, result);
       json << "\n        ] }";
       first_sweep = false;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "graph/connectivity.hpp"
 #include "sim/parallel_sweep.hpp"
@@ -63,6 +64,107 @@ traffic::CongestionMetrics route_cell(const graph::Graph& g,
   return m;
 }
 
+/// The incremental counterpart: probe the pristine incidence index for the
+/// flows this scenario's failures actually touch, re-route ONLY those (full
+/// trace, so their fresh dart paths are known), then rebuild the scenario's
+/// LoadMap by replaying every flow in canonical flow order -- cached pristine
+/// rows for the untouched majority, the freshly routed paths for the rest.
+/// The replay performs the exact floating-point additions (same values, same
+/// order, per dart and per volume counter) that route_cell's full re-route
+/// performs, so the metrics row and load map are bit-identical to it.
+traffic::CongestionMetrics route_cell_incremental(
+    const graph::Graph& g, const net::Network& network,
+    std::span<const std::uint32_t> component, const NamedFactory& factory,
+    route::ScenarioRoutingCache& cache, const traffic::FlowIncidenceIndex& index,
+    std::span<const sim::FlowSpec> flows, std::span<const double> demands,
+    double offered_pps, const traffic::CapacityPlan& plan, sim::BatchResult& batch,
+    traffic::LoadMap& load, traffic::IncidenceScratch& scratch) {
+  index.affected_flows(network.failed_links(), scratch.affected_mark,
+                       scratch.affected);
+
+  // Re-route the affected flows in canonical flow order.  When the scenario
+  // touches no pristine path there is nothing to re-route: the protocol
+  // instance (and any routing-table repair it would trigger) is skipped
+  // entirely and the replay below is the whole answer.
+  batch.clear();
+  if (!scratch.affected.empty()) {
+    scratch.flows.clear();
+    for (const std::uint32_t f : scratch.affected) scratch.flows.push_back(flows[f]);
+    const auto instance = make_protocol(factory, network, cache);
+    sim::route_batch(network, *instance, scratch.flows, sim::TraceMode::kFullTrace,
+                     batch);
+  }
+
+  load.reset(g.dart_count());
+  traffic::CongestionMetrics m;
+  m.offered_pps = offered_pps;
+  std::size_t a = 0;  // cursor into the re-routed batch
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const double rate = demands[f];
+    bool delivered;
+    if (scratch.affected_mark[f] != 0) {
+      for (const graph::DartId d : batch.darts(a)) load.add(d, rate);
+      delivered = batch[a].delivered();
+      ++a;
+    } else {
+      for (const graph::DartId d : index.flow_darts(f)) load.add(d, rate);
+      delivered = index.pristine_delivered(f);
+    }
+    if (delivered) {
+      m.delivered_pps += rate;
+    } else if (component[flows[f].source] == component[flows[f].destination]) {
+      m.lost_pps += rate;
+    } else {
+      m.stranded_pps += rate;
+    }
+  }
+  traffic::apply_utilization(m, g, load, plan);
+  return m;
+}
+
+#ifndef NDEBUG
+/// Debug builds re-price every incremental cell through the full oracle and
+/// demand bit-identity -- the enforcement teeth of the failure-local protocol
+/// contract documented in traffic/incidence.hpp.
+void cross_check_incremental_cell(
+    const graph::Graph& g, const net::Network& network,
+    std::span<const std::uint32_t> component, const NamedFactory& factory,
+    route::ScenarioRoutingCache& cache, std::span<const sim::FlowSpec> flows,
+    std::span<const double> demands, double offered_pps,
+    const traffic::CapacityPlan& plan, const traffic::CongestionMetrics& metrics,
+    const traffic::LoadMap& load) {
+  sim::BatchResult oracle_batch;
+  traffic::LoadMap oracle_load;
+  const traffic::CongestionMetrics oracle =
+      route_cell(g, network, component, factory, cache, flows, demands,
+                 offered_pps, plan, oracle_batch, oracle_load);
+  const traffic::LoadMapDiff d = traffic::diff(load, oracle_load);
+  if (!(metrics == oracle) || !d.identical()) {
+    throw std::logic_error(
+        "run_traffic_experiment: incremental cell diverged from the full "
+        "re-route oracle (protocol '" +
+        factory.name + "', " + std::to_string(d.differing) +
+        " darts differ, max |delta| " + std::to_string(d.max_abs_delta) + ")");
+  }
+}
+#endif
+
+/// One pristine routing pass per protocol over the sweep's exact work-list.
+/// `cache` warms with the pristine tables, which every scenario repair then
+/// starts from.
+std::vector<traffic::FlowIncidenceIndex> build_indexes(
+    const graph::Graph& g, const std::vector<NamedFactory>& protocols,
+    std::span<const sim::FlowSpec> flows, std::span<const double> demands,
+    route::ScenarioRoutingCache& cache) {
+  std::vector<traffic::FlowIncidenceIndex> indexes(protocols.size());
+  const net::Network pristine(g);
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    const auto instance = make_protocol(protocols[i], pristine, cache);
+    indexes[i].build(pristine, *instance, flows, demands);
+  }
+  return indexes;
+}
+
 void validate(const graph::Graph& g, const traffic::TrafficMatrix& demand,
               const traffic::CapacityPlan& plan,
               const std::vector<NamedFactory>& protocols) {
@@ -85,22 +187,13 @@ double sum_in_order(std::span<const double> demands) {
   return sum;
 }
 
-}  // namespace
-
-TrafficExperimentResult run_traffic_experiment(
-    const graph::Graph& g, const traffic::TrafficMatrix& demand,
-    const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
-    const std::vector<NamedFactory>& protocols) {
-  validate(g, demand, plan, protocols);
-
-  std::vector<sim::FlowSpec> flows;
-  std::vector<double> demands;
-  collect_demand_flows(demand, flows, demands);
-  const double offered = sum_in_order(demands);
-
+TrafficExperimentResult make_result(std::span<const graph::EdgeSet> scenarios,
+                                    const std::vector<NamedFactory>& protocols,
+                                    std::size_t flow_count, TrafficSweepMode mode) {
   TrafficExperimentResult result;
   result.scenarios = scenarios.size();
-  result.flows_per_scenario = flows.size();
+  result.flows_per_scenario = flow_count;
+  result.mode = mode;
   result.protocols.reserve(protocols.size());
   for (const auto& p : protocols) {
     ProtocolTraffic pt;
@@ -108,12 +201,34 @@ TrafficExperimentResult run_traffic_experiment(
     pt.per_scenario.reserve(scenarios.size());
     result.protocols.push_back(std::move(pt));
   }
+  return result;
+}
+
+}  // namespace
+
+TrafficExperimentResult run_traffic_experiment(
+    const graph::Graph& g, const traffic::TrafficMatrix& demand,
+    const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols, TrafficSweepMode mode) {
+  validate(g, demand, plan, protocols);
+
+  std::vector<sim::FlowSpec> flows;
+  std::vector<double> demands;
+  collect_demand_flows(demand, flows, demands);
+  const double offered = sum_in_order(demands);
+
+  TrafficExperimentResult result = make_result(scenarios, protocols, flows.size(), mode);
 
   // Reused across scenarios and protocols; once warm, a scenario's routing
   // allocates nothing beyond the per-scenario metric rows and component ids.
   sim::BatchResult batch;
   traffic::LoadMap load;
   route::ScenarioRoutingCache cache;
+  traffic::IncidenceScratch scratch;
+  std::vector<traffic::FlowIncidenceIndex> indexes;
+  if (mode == TrafficSweepMode::kIncremental) {
+    indexes = build_indexes(g, protocols, flows, demands, cache);
+  }
 
   for (const auto& failures : scenarios) {
     net::Network network(g);
@@ -122,9 +237,22 @@ TrafficExperimentResult run_traffic_experiment(
 
     for (std::size_t i = 0; i < protocols.size(); ++i) {
       auto& agg = result.protocols[i];
-      agg.per_scenario.push_back(route_cell(g, network, component, protocols[i],
-                                            cache, flows, demands, offered, plan,
-                                            batch, load));
+      if (mode == TrafficSweepMode::kFullReroute) {
+        agg.per_scenario.push_back(route_cell(g, network, component, protocols[i],
+                                              cache, flows, demands, offered, plan,
+                                              batch, load));
+        agg.rerouted_flows += flows.size();
+      } else {
+        agg.per_scenario.push_back(route_cell_incremental(
+            g, network, component, protocols[i], cache, indexes[i], flows,
+            demands, offered, plan, batch, load, scratch));
+        agg.rerouted_flows += scratch.affected.size();
+#ifndef NDEBUG
+        cross_check_incremental_cell(g, network, component, protocols[i], cache,
+                                     flows, demands, offered, plan,
+                                     agg.per_scenario.back(), load);
+#endif
+      }
       agg.total_load.add(load);
     }
   }
@@ -134,7 +262,8 @@ TrafficExperimentResult run_traffic_experiment(
 TrafficExperimentResult run_traffic_experiment(
     const graph::Graph& g, const traffic::TrafficMatrix& demand,
     const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
-    const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor) {
+    const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor,
+    TrafficSweepMode mode) {
   validate(g, demand, plan, protocols);
 
   std::vector<sim::FlowSpec> flows;
@@ -142,10 +271,19 @@ TrafficExperimentResult run_traffic_experiment(
   collect_demand_flows(demand, flows, demands);
   const double offered = sum_in_order(demands);
 
+  // Per-protocol pristine indexes are built once, serially, then shared
+  // read-only by every worker.
+  std::vector<traffic::FlowIncidenceIndex> indexes;
+  if (mode == TrafficSweepMode::kIncremental) {
+    route::ScenarioRoutingCache pristine_cache;
+    indexes = build_indexes(g, protocols, flows, demands, pristine_cache);
+  }
+
   // One slot per scenario, written by exactly one worker each.
   struct ScenarioPartial {
     std::vector<traffic::CongestionMetrics> metrics;    // per protocol
     std::vector<traffic::LoadMapReduction> loads;       // per protocol, 1 scenario
+    std::vector<std::size_t> rerouted;                  // per protocol
   };
   std::vector<ScenarioPartial> partials(scenarios.size());
 
@@ -158,10 +296,24 @@ TrafficExperimentResult run_traffic_experiment(
     ScenarioPartial& partial = partials[unit];
     partial.metrics.reserve(protocols.size());
     partial.loads.reserve(protocols.size());
-    for (const NamedFactory& factory : protocols) {
-      partial.metrics.push_back(route_cell(g, network, component, factory,
-                                           ctx.routes, flows, demands, offered,
-                                           plan, ctx.batch, ctx.load));
+    partial.rerouted.reserve(protocols.size());
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      if (mode == TrafficSweepMode::kFullReroute) {
+        partial.metrics.push_back(route_cell(g, network, component, protocols[i],
+                                             ctx.routes, flows, demands, offered,
+                                             plan, ctx.batch, ctx.load));
+        partial.rerouted.push_back(flows.size());
+      } else {
+        partial.metrics.push_back(route_cell_incremental(
+            g, network, component, protocols[i], ctx.routes, indexes[i], flows,
+            demands, offered, plan, ctx.batch, ctx.load, ctx.incidence));
+        partial.rerouted.push_back(ctx.incidence.affected.size());
+#ifndef NDEBUG
+        cross_check_incremental_cell(g, network, component, protocols[i],
+                                     ctx.routes, flows, demands, offered, plan,
+                                     partial.metrics.back(), ctx.load);
+#endif
+      }
       traffic::LoadMapReduction cell;
       cell.add(ctx.load);
       partial.loads.push_back(std::move(cell));
@@ -172,21 +324,13 @@ TrafficExperimentResult run_traffic_experiment(
   // reductions in scenario order performs the serial driver's element-wise
   // additions in the exact same sequence, so the floating-point sums are
   // bit-identical.
-  TrafficExperimentResult result;
-  result.scenarios = scenarios.size();
-  result.flows_per_scenario = flows.size();
-  result.protocols.reserve(protocols.size());
-  for (const auto& p : protocols) {
-    ProtocolTraffic pt;
-    pt.name = p.name;
-    pt.per_scenario.reserve(scenarios.size());
-    result.protocols.push_back(std::move(pt));
-  }
+  TrafficExperimentResult result = make_result(scenarios, protocols, flows.size(), mode);
   for (ScenarioPartial& partial : partials) {
     for (std::size_t i = 0; i < partial.metrics.size(); ++i) {
       auto& agg = result.protocols[i];
       agg.per_scenario.push_back(partial.metrics[i]);
       agg.total_load.merge(partial.loads[i]);
+      agg.rerouted_flows += partial.rerouted[i];
     }
     // Release each shard's load maps as they merge.
     std::vector<traffic::LoadMapReduction>().swap(partial.loads);

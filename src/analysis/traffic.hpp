@@ -9,8 +9,23 @@
 // delivered / lost / stranded traffic volume.  Like its siblings it has a
 // serial reference path and a SweepExecutor overload that is bit-identical
 // to it at every thread count (per-scenario units, canonical-order merge).
+//
+// Two sweep modes share those drivers:
+//   * kFullReroute -- the reference oracle: every scenario re-routes every
+//     flow from scratch, O(flows) protocol decisions per scenario;
+//   * kIncremental (default) -- one pristine routing pass per protocol builds
+//     a traffic::FlowIncidenceIndex; each scenario then probes it for the
+//     flows whose pristine path crosses a failed edge, re-routes ONLY those,
+//     and replays the cached pristine dart paths for everyone else,
+//     interleaved in canonical flow order.  Because the replay performs the
+//     exact floating-point addition sequence the full re-route would, the
+//     metric rows and merged LoadMaps are bit-identical to kFullReroute at
+//     every thread count -- single-link sweeps pay for the affected fraction
+//     (typically single-digit percent) instead of all n*(n-1) pairs.
+//     Debug builds cross-check every incremental cell against the oracle.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -20,9 +35,20 @@
 #include "traffic/capacity.hpp"
 #include "traffic/congestion.hpp"
 #include "traffic/demand.hpp"
+#include "traffic/incidence.hpp"
 #include "traffic/load_map.hpp"
 
 namespace pr::analysis {
+
+/// How a traffic sweep prices each scenario; both modes produce bit-identical
+/// results (the incremental path's replay reproduces the oracle's exact
+/// floating-point operation sequence), so the oracle survives as the
+/// reference for tests, benches and protocols outside the failure-local
+/// contract documented in traffic/incidence.hpp.
+enum class TrafficSweepMode : std::uint8_t {
+  kFullReroute,  ///< re-route every flow per scenario (reference oracle)
+  kIncremental,  ///< pristine-path replay + affected-flow re-route
+};
 
 /// One protocol's outcome across the whole sweep.
 struct ProtocolTraffic {
@@ -33,6 +59,9 @@ struct ProtocolTraffic {
   /// rerouted demand concentrates across the sweep), plus the scenario count
   /// it covers.
   traffic::LoadMapReduction total_load;
+  /// Flows routed through a protocol instance, summed over scenarios: the
+  /// affected-flow count in incremental mode, scenarios * flows in full mode.
+  std::size_t rerouted_flows = 0;
 
   [[nodiscard]] traffic::CongestionSummary summary() const {
     return traffic::summarize(per_scenario);
@@ -43,6 +72,15 @@ struct TrafficExperimentResult {
   std::vector<ProtocolTraffic> protocols;
   std::size_t scenarios = 0;
   std::size_t flows_per_scenario = 0;  ///< ordered pairs with non-zero demand
+  TrafficSweepMode mode = TrafficSweepMode::kIncremental;
+
+  /// Fraction of (scenario, flow) cells `p` actually routed: the per-sweep
+  /// affected-flow fraction in incremental mode, 1.0 in full mode.
+  [[nodiscard]] double rerouted_fraction(const ProtocolTraffic& p) const {
+    const double total =
+        static_cast<double>(scenarios) * static_cast<double>(flows_per_scenario);
+    return total == 0.0 ? 0.0 : static_cast<double>(p.rerouted_flows) / total;
+  }
 };
 
 /// The sweep work-list every traffic driver routes: one FlowSpec per ordered
@@ -57,19 +95,24 @@ void collect_demand_flows(const traffic::TrafficMatrix& demand,
 /// prices the resulting loads against `plan`.  Scenarios may disconnect the
 /// graph: demand whose destination becomes unreachable is accounted as
 /// stranded (no scheme can deliver it), demand dropped despite a surviving
-/// path as lost.  Serial reference path.
+/// path as lost.  Serial reference path.  `mode` selects the incremental
+/// core or the full-re-route oracle; results are bit-identical either way.
 [[nodiscard]] TrafficExperimentResult run_traffic_experiment(
     const graph::Graph& g, const traffic::TrafficMatrix& demand,
     const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
-    const std::vector<NamedFactory>& protocols);
+    const std::vector<NamedFactory>& protocols,
+    TrafficSweepMode mode = TrafficSweepMode::kIncremental);
 
 /// Parallel sharded variant: scenarios are work units on `executor`, each
-/// routed with the worker's reusable batch and load buffers; per-scenario
-/// metrics and load maps merge in canonical scenario order, so results are
-/// bit-identical to the serial overload for every thread count.
+/// routed with the worker's reusable batch, load and incidence buffers
+/// (sim::WorkerContext); the per-protocol incidence indexes are built once,
+/// up front, and shared read-only by all workers.  Per-scenario metrics and
+/// load maps merge in canonical scenario order, so results are bit-identical
+/// to the serial overload -- and across both modes -- for every thread count.
 [[nodiscard]] TrafficExperimentResult run_traffic_experiment(
     const graph::Graph& g, const traffic::TrafficMatrix& demand,
     const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
-    const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor);
+    const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor,
+    TrafficSweepMode mode = TrafficSweepMode::kIncremental);
 
 }  // namespace pr::analysis

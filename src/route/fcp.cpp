@@ -6,35 +6,46 @@
 namespace pr::route {
 
 FcpRouting::FcpRouting(const Graph& g, std::size_t cache_capacity)
-    : graph_(&g), capacity_(cache_capacity) {
+    : graph_(&g), capacity_(cache_capacity), excluded_(g.edge_count()) {
   if (capacity_ == 0) {
     throw std::invalid_argument("FcpRouting: cache capacity must be >= 1");
   }
 }
 
-const graph::ShortestPathTree& FcpRouting::tree_for(const std::vector<EdgeId>& failures,
-                                                    NodeId dest) {
+const FcpRouting::Entry& FcpRouting::entry_for(const std::vector<EdgeId>& failures,
+                                               NodeId dest) {
   CacheKey key{failures, dest};
   if (const auto it = entries_.find(key); it != entries_.end()) {
     // Promote to most-recently-used; the node itself (and the reference we
     // return) does not move.
     lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->tree;
+    return *it->second;
   }
 
-  graph::EdgeSet excluded(graph_->edge_count());
-  for (EdgeId e : failures) excluded.insert(e);
-  ++spf_computations_;
-  lru_.push_front(Entry{key, graph::shortest_paths_to(*graph_, dest, &excluded)});
-  entries_.emplace(std::move(key), lru_.begin());
-
-  if (entries_.size() > capacity_) {
-    // Coldest entry out; never the one just inserted (capacity >= 1).
+  if (entries_.size() == capacity_) {
+    // Coldest entry out, its node and column storage recycled in place for
+    // the new fill -- a warm cache at capacity allocates nothing here beyond
+    // the map key.
     entries_.erase(lru_.back().key);
-    lru_.pop_back();
+    lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
     ++evictions_;
+  } else {
+    lru_.emplace_front();
   }
-  return lru_.front().tree;
+  Entry& entry = lru_.front();
+  entry.key = key;
+  const std::size_t n = graph_->node_count();
+  entry.dist.resize(n);
+  entry.hops.resize(n);
+  entry.next_dart.resize(n);
+
+  excluded_.clear();
+  for (EdgeId e : failures) excluded_.insert(e);
+  ++spf_computations_;
+  workspace_.full_build(*graph_, dest, &excluded_, entry.dist.data(),
+                        entry.hops.data(), entry.next_dart.data());
+  entries_.emplace(std::move(key), lru_.begin());
+  return entry;
 }
 
 net::ForwardingDecision FcpRouting::forward(const net::Network& net, NodeId at,
@@ -45,11 +56,11 @@ net::ForwardingDecision FcpRouting::forward(const net::Network& net, NodeId at,
   // Learn, recompute and retry until a usable next hop emerges or the
   // destination is unreachable given everything this packet knows.
   while (true) {
-    const auto& tree = tree_for(packet.fcp_failures, packet.destination);
-    if (!tree.reachable(at)) {
+    const auto& entry = entry_for(packet.fcp_failures, packet.destination);
+    if (!entry.reachable(at)) {
       return net::ForwardingDecision::drop(net::DropReason::kNoRoute);
     }
-    const DartId out = tree.next_dart[at];
+    const DartId out = entry.next_dart[at];
     if (net.dart_usable(out)) return net::ForwardingDecision::forward(out);
 
     // Adjacent failure discovered: record it (sorted-unique) and recompute.

@@ -14,6 +14,15 @@
 // capacity is far above what any bundled sweep touches (so small sweeps
 // behave exactly as an unbounded cache), while adversarial multi-failure
 // storms evict coldest-first instead of growing without limit.
+//
+// Memo entries are stored as flat SpfWorkspace columns (dist / hops /
+// next_dart arrays filled in place by the protocol's own workspace), not
+// ShortestPathTrees built through the reference shortest_paths_to wrapper:
+// a cache fill reuses the per-protocol heap scratch, eviction recycles the
+// coldest entry's column storage for the new fill, and the exclusion EdgeSet
+// is a reusable member -- so a warm cache at capacity fills entries with no
+// allocation beyond the map key.  Results are bit-identical to the wrapper
+// (which is itself a thin shim over SpfWorkspace::full_build).
 #pragma once
 
 #include <cstdint>
@@ -22,7 +31,7 @@
 #include <utility>
 #include <vector>
 
-#include "graph/dijkstra.hpp"
+#include "graph/spf_workspace.hpp"
 #include "net/forwarding.hpp"
 #include "route/routing_db.hpp"
 
@@ -66,23 +75,36 @@ class FcpRouting final : public net::ForwardingProtocol {
 
  private:
   using CacheKey = std::pair<std::vector<EdgeId>, NodeId>;
+  /// One memoised tree in SpfWorkspace column form.  `reachable(v)` matches
+  /// graph::ShortestPathTree::reachable bit for bit.
   struct Entry {
     CacheKey key;
-    graph::ShortestPathTree tree;
+    std::vector<graph::Weight> dist;
+    std::vector<std::uint32_t> hops;
+    std::vector<DartId> next_dart;
+
+    [[nodiscard]] bool reachable(NodeId v) const noexcept {
+      return v < dist.size() && dist[v] < graph::kUnreachable;
+    }
   };
 
-  /// The memoised tree for (failures, dest), computed on miss and promoted to
-  /// most-recently-used on hit.  The reference is stable until this entry is
-  /// itself evicted (list nodes do not move), which cannot happen before the
-  /// next tree_for call.
-  const graph::ShortestPathTree& tree_for(const std::vector<EdgeId>& failures,
-                                          NodeId dest);
+  /// The memoised entry for (failures, dest), filled on miss (reusing the
+  /// evicted entry's column storage when the cache is at capacity) and
+  /// promoted to most-recently-used on hit.  The reference is stable until
+  /// this entry is itself recycled (list nodes do not move), which cannot
+  /// happen before the next entry_for call.
+  const Entry& entry_for(const std::vector<EdgeId>& failures, NodeId dest);
 
   const Graph* graph_;
   std::size_t capacity_;
-  /// Most-recently-used first; eviction pops the back.
+  /// Most-recently-used first; eviction recycles the back.
   std::list<Entry> lru_;
   std::map<CacheKey, std::list<Entry>::iterator> entries_;
+  /// Per-protocol SPF scratch: every cache fill runs in here instead of
+  /// allocating a fresh workspace through the reference wrapper.
+  graph::SpfWorkspace workspace_;
+  /// Reusable exclusion set for cache fills (sized once per graph).
+  graph::EdgeSet excluded_;
   std::size_t spf_computations_ = 0;
   std::size_t evictions_ = 0;
 };

@@ -69,8 +69,8 @@ template <typename PerHop>
 void run_flow_batch(const Network& net, ForwardingProtocol& protocol,
                     std::span<const FlowSpec> flows, TraceMode mode,
                     std::vector<FlowStats>& stats, std::vector<NodeId>& nodes,
-                    std::vector<std::size_t>& offsets, std::size_t& delivered,
-                    PerHop&& per_hop) {
+                    std::vector<DartId>& darts, std::vector<std::size_t>& offsets,
+                    std::size_t& delivered, PerHop&& per_hop) {
   const graph::Graph& g = net.graph();
   for (const FlowSpec& flow : flows) {
     if (flow.source >= g.node_count() || flow.destination >= g.node_count()) {
@@ -95,6 +95,7 @@ void run_flow_batch(const Network& net, ForwardingProtocol& protocol,
       nodes.push_back(flow.source);
       outcome = engine.run(fs, [&](NodeId v) {
         nodes.push_back(v);
+        darts.push_back(fs.arrived_over);
         per_hop(i, fs);
       });
     } else {
@@ -113,8 +114,8 @@ void route_batch(const Network& net, ForwardingProtocol& protocol,
                  std::span<const FlowSpec> flows, TraceMode mode, BatchResult& out) {
   out.clear();
   out.mode_ = mode;
-  run_flow_batch(net, protocol, flows, mode, out.stats_, out.nodes_, out.offsets_,
-                 out.delivered_, [](std::size_t, const FlowState&) {});
+  run_flow_batch(net, protocol, flows, mode, out.stats_, out.nodes_, out.darts_,
+                 out.offsets_, out.delivered_, [](std::size_t, const FlowState&) {});
 }
 
 BatchResult route_batch(const Network& net, ForwardingProtocol& protocol,
@@ -133,8 +134,8 @@ void route_batch(const Network& net, ForwardingProtocol& protocol,
   out.clear();
   out.mode_ = mode;
   load.reset(net.graph().dart_count());
-  run_flow_batch(net, protocol, flows, mode, out.stats_, out.nodes_, out.offsets_,
-                 out.delivered_,
+  run_flow_batch(net, protocol, flows, mode, out.stats_, out.nodes_, out.darts_,
+                 out.offsets_, out.delivered_,
                  [&load, demands](std::size_t i, const FlowState& fs) {
                    load.add(fs.arrived_over, demands[i]);
                  });

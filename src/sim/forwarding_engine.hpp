@@ -136,7 +136,8 @@ class ForwardingEngine {
 enum class TraceMode : std::uint8_t {
   kStats,      ///< delivery status / drop reason / hops / cost only; no per-flow
                ///< heap traffic at all once the result buffers are warm
-  kFullTrace,  ///< additionally record every flow's node sequence (flattened)
+  kFullTrace,  ///< additionally record every flow's node and dart sequences
+               ///< (flattened)
 };
 
 /// One (source, destination) trial of a sweep.
@@ -183,10 +184,23 @@ class BatchResult {
         offsets_.at(flow), offsets_.at(flow + 1) - offsets_.at(flow));
   }
 
+  /// Dart sequence of flow `flow` (the interfaces the flow actually crossed,
+  /// in hop order -- exactly the darts the demand-weighted overload charges).
+  /// Empty in stats mode.  A flow's dart count is its node count minus one,
+  /// so the node fenceposts serve both views: darts of flow f start at
+  /// offsets_[f] - f.
+  [[nodiscard]] std::span<const DartId> darts(std::size_t flow) const {
+    if (mode_ == TraceMode::kStats) return {};
+    const std::size_t begin = offsets_.at(flow) - flow;
+    const std::size_t end = offsets_.at(flow + 1) - (flow + 1);
+    return std::span<const DartId>(darts_).subspan(begin, end - begin);
+  }
+
   /// Empties the result but keeps every buffer's capacity.
   void clear() noexcept {
     stats_.clear();
     nodes_.clear();
+    darts_.clear();
     offsets_.clear();
     delivered_ = 0;
   }
@@ -200,6 +214,7 @@ class BatchResult {
 
   std::vector<FlowStats> stats_;
   std::vector<NodeId> nodes_;         // full-trace mode: all sequences, flattened
+  std::vector<DartId> darts_;         // full-trace mode: hops taken, flattened
   std::vector<std::size_t> offsets_;  // full-trace mode: size()+1 fenceposts
   std::size_t delivered_ = 0;
   TraceMode mode_ = TraceMode::kStats;

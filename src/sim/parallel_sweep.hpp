@@ -32,6 +32,7 @@
 #include "graph/rng.hpp"
 #include "route/scenario_cache.hpp"
 #include "sim/forwarding_engine.hpp"
+#include "traffic/incidence.hpp"
 #include "traffic/load_map.hpp"
 
 namespace pr::sim {
@@ -62,6 +63,11 @@ class WorkerContext {
   /// load-accumulating route_batch overload resets it per call, so once warm
   /// a traffic sweep adds no per-scenario heap traffic.
   traffic::LoadMap load;
+
+  /// Per-worker scratch for incremental traffic sweeps: affected-flow marks
+  /// and the compacted re-route list a scenario cell probes out of the shared
+  /// FlowIncidenceIndex.  Reused across units like the buffers above.
+  traffic::IncidenceScratch incidence;
 
   /// Per-worker scenario routing cache: protocols that reconverge borrow
   /// delta-repaired tables from here instead of building a fresh RoutingDb

@@ -1,5 +1,6 @@
 #include "traffic/load_map.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace pr::traffic {
@@ -9,6 +10,27 @@ void LoadMap::merge(const LoadMap& other) {
     throw std::invalid_argument("LoadMap::merge: dart count mismatch");
   }
   for (std::size_t d = 0; d < pps_.size(); ++d) pps_[d] += other.pps_[d];
+}
+
+LoadMapDiff diff(const LoadMap& a, const LoadMap& b) {
+  LoadMapDiff d;
+  if (a.dart_count() != b.dart_count()) {
+    d.size_mismatch = true;
+    return d;
+  }
+  d.darts_compared = a.dart_count();
+  for (std::size_t i = 0; i < a.dart_count(); ++i) {
+    const double la = a.load(static_cast<graph::DartId>(i));
+    const double lb = b.load(static_cast<graph::DartId>(i));
+    if (la == lb) continue;
+    ++d.differing;
+    const double delta = std::abs(la - lb);
+    if (delta >= d.max_abs_delta) {
+      d.max_abs_delta = delta;
+      d.worst_dart = static_cast<graph::DartId>(i);
+    }
+  }
+  return d;
 }
 
 }  // namespace pr::traffic

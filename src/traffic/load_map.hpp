@@ -55,6 +55,28 @@ class LoadMap {
   std::vector<double> pps_;
 };
 
+/// Element-wise comparison report between two maps: how many darts differ
+/// bit-for-bit and where the largest absolute delta sits.  Tests use it to
+/// assert exact equality with a useful failure message, and the debug-mode
+/// cross-check in analysis::run_traffic_experiment uses it to pinpoint any
+/// divergence between the incremental and full-re-route sweep paths.
+struct LoadMapDiff {
+  bool size_mismatch = false;  ///< dart counts differ; no darts compared
+  std::size_t darts_compared = 0;
+  std::size_t differing = 0;  ///< darts whose loads are not bit-equal
+  /// Dart with the largest |a - b| (kInvalidDart when none differ).
+  graph::DartId worst_dart = graph::kInvalidDart;
+  double max_abs_delta = 0.0;
+
+  [[nodiscard]] bool identical() const noexcept {
+    return !size_mismatch && differing == 0;
+  }
+};
+
+/// Compares two maps element-wise.  Size mismatch is reported, not thrown,
+/// so the helper is usable in failure paths.
+[[nodiscard]] LoadMapDiff diff(const LoadMap& a, const LoadMap& b);
+
 /// Mergeable sweep reduction: the summed load map plus the scenario count it
 /// covers.  The traffic sweep drivers keep one per protocol: serial sweeps
 /// add() each scenario's map in order, parallel sweeps merge() per-unit

@@ -53,7 +53,10 @@ TEST(GenusOpt, ResultAlwaysValidEmbedding) {
 TEST(GenusOpt, ZeroBudgetStillValid) {
   GenusSearchOptions opts;
   opts.max_iterations = 0;
-  const auto result = minimize_genus(graph::k5(), opts);
+  // The graph must outlive the result: RotationSystem references it, and
+  // trace_faces below reads through that reference.
+  const Graph g = graph::k5();
+  const auto result = minimize_genus(g, opts);
   EXPECT_GE(result.genus, 1);
   EXPECT_NO_THROW(check_face_set(result.rotation, trace_faces(result.rotation)));
 }

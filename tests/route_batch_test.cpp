@@ -69,10 +69,19 @@ void expect_parity(const net::Network& network, const analysis::NamedFactory& fa
       EXPECT_DOUBLE_EQ((*batch)[f].cost, legacy[f].cost);
     }
     EXPECT_TRUE(stats.nodes(f).empty());  // stats mode records no sequences
+    EXPECT_TRUE(stats.darts(f).empty());
     const auto nodes = traced.nodes(f);
     ASSERT_EQ(nodes.size(), legacy[f].nodes.size());
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       EXPECT_EQ(nodes[i], legacy[f].nodes[i]);
+    }
+    // The dart trace is the same walk seen as interfaces: one dart per hop,
+    // each connecting the consecutive node pair.
+    const auto darts = traced.darts(f);
+    ASSERT_EQ(darts.size(), nodes.size() - 1);
+    for (std::size_t i = 0; i < darts.size(); ++i) {
+      EXPECT_EQ(network.graph().dart_tail(darts[i]), nodes[i]);
+      EXPECT_EQ(network.graph().dart_head(darts[i]), nodes[i + 1]);
     }
     if (legacy[f].delivered()) ++delivered;
   }
