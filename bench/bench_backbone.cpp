@@ -1,0 +1,310 @@
+// Backbone-scale failure-sweep scaling: nodes x threads x batch width.
+//
+// The paper's sweeps run on ~10-50 node research topologies; this bench asks
+// what the same machinery costs at ISP scale.  Hierarchical core/agg/edge
+// topologies from graph::hierarchical_isp (256 / 1k / 4k routers) are swept
+// with sampled single-link failure scenarios three ways:
+//
+//   1. repair drives: the batched destination-tree drive (orphan subtrees
+//      found through the pristine children index, sparse column restores,
+//      argmax-gated column-max updates) against the per-destination legacy
+//      drive, bit-identity checked before anything is timed
+//      ("repair_speedup" per scale);
+//   2. threads: the same scenario set through SweepExecutor worker pools of
+//      1/2/4/8 threads, each worker repairing on its own warm
+//      ScenarioRoutingCache, digests checked identical across pool sizes;
+//   3. batch width: scenarios amortised per fresh cache (widths 1/4/16/64),
+//      pricing the pristine build + incremental-state preparation against
+//      the steady-state repair cost it unlocks.
+//
+// Emits BENCH_backbone.json (also printed):
+//
+//   {
+//     "bench": "backbone", "repetitions": R, "scenarios_requested": S,
+//     "scales": [ { "name": "isp-1024", "nodes": N, "links": M,
+//         "scenarios": s, "table_mb": ..., "legacy_ms": ...,
+//         "batched_ms": ..., "repair_speedup": ...,
+//         "scenarios_per_second": ...,
+//         "threads": [ { "threads": T, "ms": ..., "speedup": ... }, ... ],
+//         "batch_width": [ { "width": W, "per_scenario_ms": ... }, ... ] },
+//       ... ],
+//     "largest_scale_repair_speedup": ..., "peak_rss_mb": ...
+//   }
+//
+// Timings are the best of R repetitions (batch-width curves are cold-start
+// by design and measured once).
+//
+//   $ ./bench_backbone [max nodes 256..8192] [scenarios 1..1024]
+//                      [repetitions 1..100] [threads 0..N]
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/rng.hpp"
+#include "graph/spf_workspace.hpp"
+#include "route/routing_db.hpp"
+#include "route/scenario_cache.hpp"
+#include "sim/parallel_sweep.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace pr;
+
+double best_ms(std::size_t repetitions, const std::function<void()>& work) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    const auto start = Clock::now();
+    work();
+    const auto ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
+            .count());
+    best = std::min(best, ns / 1e6);
+  }
+  return best;
+}
+
+double once_ms(const std::function<void()>& work) { return best_ms(1, work); }
+
+/// Sampled-row digest of a routing table: cheap enough to run per scenario
+/// inside timed loops, sensitive enough that any next-hop or cost divergence
+/// at the sampled rows changes it.  FNV-1a.
+std::uint64_t table_digest(const route::RoutingDb& db) {
+  const std::size_t n = db.graph().node_count();
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  const std::size_t stride = std::max<std::size_t>(1, n / 61);
+  for (graph::NodeId dest = 0; dest < n; dest += stride) {
+    for (graph::NodeId at = 0; at < n; at += stride) {
+      mix(db.next_dart(at, dest));
+      mix(db.hops(at, dest));
+    }
+  }
+  mix(db.max_discriminator());
+  return h;
+}
+
+void require_identical(const route::RoutingDb& got, const route::RoutingDb& want,
+                       const std::string& where) {
+  const std::size_t n = got.graph().node_count();
+  for (graph::NodeId dest = 0; dest < n; ++dest) {
+    for (graph::NodeId at = 0; at < n; ++at) {
+      if (got.next_dart(at, dest) != want.next_dart(at, dest) ||
+          got.cost(at, dest) != want.cost(at, dest) ||
+          got.hops(at, dest) != want.hops(at, dest)) {
+        throw std::runtime_error("repair drive diverged from oracle: " + where);
+      }
+    }
+  }
+  if (got.max_discriminator() != want.max_discriminator()) {
+    throw std::runtime_error("max discriminator diverged: " + where);
+  }
+}
+
+/// Distinct sampled single-link failure scenarios.
+std::vector<graph::EdgeSet> sample_single_link(const graph::Graph& g,
+                                               std::size_t count, graph::Rng& rng) {
+  std::set<graph::EdgeId> picked;
+  while (picked.size() < std::min(count, g.edge_count())) {
+    picked.insert(static_cast<graph::EdgeId>(rng.below(g.edge_count())));
+  }
+  std::vector<graph::EdgeSet> scenarios;
+  scenarios.reserve(picked.size());
+  for (const graph::EdgeId e : picked) {
+    graph::EdgeSet s(g.edge_count());
+    s.insert(e);
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+double peak_rss_mb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: kilobytes
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t max_nodes = 4096;
+  std::size_t scenario_count = 48;
+  std::size_t repetitions = 3;
+  std::size_t threads_cap = 0;  // 0 = up to 8 / hardware
+  bool args_ok =
+      (argc <= 1 ||
+       (sim::parse_count_arg(argv[1], 8192, max_nodes) && max_nodes >= 256)) &&
+      (argc <= 2 ||
+       (sim::parse_count_arg(argv[2], 1024, scenario_count) && scenario_count > 0)) &&
+      (argc <= 3 ||
+       (sim::parse_count_arg(argv[3], 100, repetitions) && repetitions > 0));
+  if (args_ok && argc > 4) {
+    try {
+      threads_cap = sim::threads_from_arg(argc, argv, 4);
+    } catch (const std::invalid_argument&) {
+      args_ok = false;
+    }
+  }
+  if (!args_ok || argc > 5) {
+    std::cerr << "usage: bench_backbone [max nodes 256..8192] [scenarios 1..1024] "
+                 "[repetitions 1..100] [threads 0..N]\n";
+    return 1;
+  }
+
+  std::vector<std::size_t> scales;
+  for (const std::size_t s : {256U, 1024U, 4096U}) {
+    if (s <= max_nodes) scales.push_back(s);
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"backbone\",\n  \"repetitions\": " << repetitions
+       << ",\n  \"scenarios_requested\": " << scenario_count
+       << ",\n  \"scales\": [";
+
+  double largest_speedup = 0.0;
+  bool first_scale = true;
+  for (const std::size_t target : scales) {
+    graph::Rng topo_rng(0xB0B0 + target);
+    const graph::IspTopology isp =
+        graph::hierarchical_isp(graph::sized_isp_params(target), topo_rng);
+    const graph::Graph& g = isp.graph;
+    const std::size_t n = g.node_count();
+
+    graph::Rng scenario_rng(0x5EED0 + target);
+    const auto scenarios = sample_single_link(g, scenario_count, scenario_rng);
+
+    // Bit-identity first: batched == legacy == from-scratch.  Full-table
+    // oracle compares are O(n^2) each with a fresh n-Dijkstra build, so the
+    // deep check covers every scenario at small scale and a prefix above.
+    route::RoutingDb batched_db(g);
+    route::RoutingDb legacy_db(g);
+    graph::SpfWorkspace ws;
+    graph::SpfWorkspace legacy_ws;
+    const std::size_t deep = n <= 512 ? scenarios.size()
+                                      : std::min<std::size_t>(2, scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      batched_db.rebuild(scenarios[i], ws, route::RepairDrive::kBatchedTrees);
+      legacy_db.rebuild(scenarios[i], legacy_ws, route::RepairDrive::kPerDestination);
+      const std::string where =
+          "isp-" + std::to_string(target) + " scenario " + std::to_string(i);
+      if (i < deep) {
+        const route::RoutingDb fresh(g, &scenarios[i]);
+        require_identical(batched_db, fresh, where + " (vs scratch)");
+        require_identical(legacy_db, fresh, where + " (legacy vs scratch)");
+      } else if (table_digest(batched_db) != table_digest(legacy_db)) {
+        throw std::runtime_error("drive digests diverged: " + where);
+      }
+    }
+
+    // Repair-drive throughput: whole scenario set per timing, warm state.
+    const double legacy_ms = best_ms(repetitions, [&] {
+      for (const auto& s : scenarios) {
+        legacy_db.rebuild(s, legacy_ws, route::RepairDrive::kPerDestination);
+      }
+    });
+    const double batched_ms = best_ms(repetitions, [&] {
+      for (const auto& s : scenarios) {
+        batched_db.rebuild(s, ws, route::RepairDrive::kBatchedTrees);
+      }
+    });
+    const double speedup = batched_ms > 0 ? legacy_ms / batched_ms : 0.0;
+    largest_speedup = speedup;  // scales ascend; last write wins
+    const double scen_per_s =
+        batched_ms > 0 ? static_cast<double>(scenarios.size()) * 1000.0 / batched_ms
+                       : 0.0;
+
+    json << (first_scale ? "" : ",") << "\n    { \"name\": \"isp-" << target
+         << "\", \"nodes\": " << n << ", \"links\": " << g.edge_count()
+         << ", \"scenarios\": " << scenarios.size() << ",\n      \"table_mb\": "
+         << static_cast<double>(batched_db.bytes()) / (1024.0 * 1024.0)
+         << ", \"legacy_ms\": " << legacy_ms << ", \"batched_ms\": " << batched_ms
+         << ",\n      \"repair_speedup\": " << speedup
+         << ", \"scenarios_per_second\": " << scen_per_s;
+    first_scale = false;
+    std::cerr << "isp-" << target << " (" << n << " nodes): repair speedup "
+              << speedup << "x, " << scen_per_s << " scenarios/s\n";
+
+    // Thread-scaling curve.  Each worker owns a full warm RoutingDb, so the
+    // pool memory is threads * table_mb -- priced out above 1k nodes.
+    if (n <= 1024) {
+      std::vector<std::uint64_t> serial_digests(scenarios.size());
+      {
+        route::ScenarioRoutingCache cache;
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+          serial_digests[i] = table_digest(cache.tables(g, scenarios[i]));
+        }
+      }
+
+      json << ",\n      \"threads\": [";
+      bool first_threads = true;
+      for (const std::size_t threads : {1U, 2U, 4U, 8U}) {
+        if (threads_cap != 0 && threads > threads_cap) break;
+        sim::SweepExecutor executor(threads);
+        std::vector<std::uint64_t> digests(scenarios.size(), 0);
+        const auto sweep = [&](std::size_t unit, sim::WorkerContext& ctx) {
+          digests[unit] = table_digest(ctx.routes.tables(g, scenarios[unit]));
+        };
+        executor.run(scenarios.size(), sweep);  // warm worker caches + verify
+        if (digests != serial_digests) {
+          throw std::runtime_error("parallel sweep digests diverged at " +
+                                   std::to_string(threads) + " threads");
+        }
+        const double ms = best_ms(repetitions, [&] {
+          executor.run(scenarios.size(), sweep);
+        });
+        json << (first_threads ? "" : ",") << "\n        { \"threads\": " << threads
+             << ", \"ms\": " << ms << ", \"speedup\": "
+             << (ms > 0 ? batched_ms / ms : 0.0) << " }";
+        first_threads = false;
+      }
+      json << "\n      ]";
+    }
+
+    // Batch-width amortisation: a fresh cache pays the pristine build plus
+    // incremental-state preparation once, then each further scenario in the
+    // batch costs only its repair.  Cold by construction, measured once.
+    json << ",\n      \"batch_width\": [";
+    bool first_width = true;
+    for (const std::size_t width : {1U, 4U, 16U, 64U}) {
+      const std::size_t w = std::min(width, scenarios.size());
+      const double total = once_ms([&] {
+        route::ScenarioRoutingCache cache;
+        for (std::size_t i = 0; i < w; ++i) {
+          if (cache.tables(g, scenarios[i]).graph().node_count() != n) {
+            throw std::logic_error("bad table");
+          }
+        }
+      });
+      json << (first_width ? "" : ",") << "\n        { \"width\": " << w
+           << ", \"per_scenario_ms\": " << total / static_cast<double>(w) << " }";
+      first_width = false;
+      if (w < width) break;  // scenario set exhausted
+    }
+    json << "\n      ] }";
+  }
+
+  json << "\n  ],\n  \"largest_scale_repair_speedup\": " << largest_speedup
+       << ",\n  \"peak_rss_mb\": " << peak_rss_mb() << "\n}\n";
+
+  std::cout << json.str();
+  std::ofstream out("BENCH_backbone.json");
+  out << json.str();
+  std::cerr << "wrote BENCH_backbone.json (largest-scale repair speedup: "
+            << largest_speedup << "x, peak RSS " << peak_rss_mb() << " MB)\n";
+  return 0;
+}

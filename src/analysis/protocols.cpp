@@ -2,19 +2,76 @@
 
 namespace pr::analysis {
 
+namespace {
+
+/// Non-owning adapter so factories can hand out suite- or cache-owned
+/// protocol instances through the unique_ptr-returning factory interface.
+/// The referenced protocol must outlive the scenario (suite members do by
+/// contract; cache-owned ones live until the cache's next different-scenario
+/// call, exactly the borrowing rule ScenarioRoutingCache documents).
+class BorrowedProtocol final : public net::ForwardingProtocol {
+ public:
+  explicit BorrowedProtocol(net::ForwardingProtocol& inner) : inner_(&inner) {}
+
+  [[nodiscard]] net::ForwardingDecision forward(const net::Network& net,
+                                                graph::NodeId at,
+                                                graph::DartId arrived_over,
+                                                net::Packet& packet) override {
+    return inner_->forward(net, at, arrived_over, packet);
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return inner_->name();
+  }
+
+ private:
+  net::ForwardingProtocol* inner_;
+};
+
+/// Owning per-scenario variant for drivers without a cache: converged tables
+/// for the network's current failure set plus the alternates derived from
+/// them.
+class PostConvergenceLfa final : public net::ForwardingProtocol {
+ public:
+  PostConvergenceLfa(const net::Network& net, route::DiscriminatorKind kind)
+      : db_(net.graph(), &net.failed_links(), kind),
+        lfa_(db_, route::LfaKind::kLinkProtecting) {}
+
+  [[nodiscard]] net::ForwardingDecision forward(const net::Network& net,
+                                                graph::NodeId at,
+                                                graph::DartId arrived_over,
+                                                net::Packet& packet) override {
+    return lfa_.forward(net, at, arrived_over, packet);
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return lfa_.name();
+  }
+
+ private:
+  route::RoutingDb db_;
+  route::LfaRouting lfa_;
+};
+
+}  // namespace
+
 ProtocolSuite::ProtocolSuite(const graph::Graph& g, embed::EmbedOptions embed_opts,
                              route::DiscriminatorKind dd_kind)
     : graph_(&g),
       embedding_(embed::embed(g, embed_opts)),
       routes_(g, nullptr, dd_kind),
-      cycles_(embedding_.rotation) {}
+      cycles_(embedding_.rotation),
+      lfa_link_(routes_, route::LfaKind::kLinkProtecting),
+      lfa_node_(routes_, route::LfaKind::kNodeProtecting) {}
 
 ProtocolSuite::ProtocolSuite(const graph::Graph& g, embed::Embedding embedding,
                              route::DiscriminatorKind dd_kind)
     : graph_(&g),
       embedding_(std::move(embedding)),
       routes_(g, nullptr, dd_kind),
-      cycles_(embedding_.rotation) {}
+      cycles_(embedding_.rotation),
+      lfa_link_(routes_, route::LfaKind::kLinkProtecting),
+      lfa_node_(routes_, route::LfaKind::kNodeProtecting) {}
 
 NamedFactory ProtocolSuite::reconvergence() const {
   NamedFactory factory;
@@ -58,16 +115,36 @@ NamedFactory ProtocolSuite::pr_single_bit() const {
 }
 
 NamedFactory ProtocolSuite::lfa() const {
+  // Pristine-table alternates depend only on routes_, so all scenarios share
+  // the suite-owned instance instead of re-deriving it per scenario.
   return {"Loop-Free Alternates", [this](const net::Network&) {
-            return std::make_unique<route::LfaRouting>(routes_);
+            return std::make_unique<BorrowedProtocol>(lfa_link_);
           }};
 }
 
 NamedFactory ProtocolSuite::lfa_node_protecting() const {
   return {"LFA (node-protecting)", [this](const net::Network&) {
-            return std::make_unique<route::LfaRouting>(routes_,
-                                                       route::LfaKind::kNodeProtecting);
+            return std::make_unique<BorrowedProtocol>(lfa_node_);
           }};
+}
+
+NamedFactory ProtocolSuite::lfa_post_convergence() const {
+  NamedFactory factory;
+  factory.name = "LFA (post-convergence)";
+  const auto kind = routes_.discriminator_kind();
+  // Reference path: fresh converged tables + fresh alternate derivation.
+  factory.make = [kind](const net::Network& net) {
+    return std::make_unique<PostConvergenceLfa>(net, kind);
+  };
+  // Sweep path: delta-repaired tables + incrementally resynced alternates,
+  // both borrowed from the driver's cache.
+  factory.make_cached = [kind](const net::Network& net,
+                               route::ScenarioRoutingCache& cache) {
+    return std::make_unique<BorrowedProtocol>(
+        cache.lfa(net.graph(), net.failed_links(),
+                  route::LfaKind::kLinkProtecting, kind));
+  };
+  return factory;
 }
 
 NamedFactory ProtocolSuite::spf() const {

@@ -44,6 +44,12 @@ class ProtocolSuite {
   [[nodiscard]] NamedFactory pr_single_bit() const;
   [[nodiscard]] NamedFactory lfa() const;
   [[nodiscard]] NamedFactory lfa_node_protecting() const;
+  /// LFA with PER-SCENARIO alternates: the classic variants above derive
+  /// alternates from the pristine tables once (what a router knows before
+  /// convergence); this one re-derives them from the scenario's converged
+  /// tables -- fresh per scenario via `make`, incrementally resynced through
+  /// ScenarioRoutingCache::lfa() via `make_cached`.
+  [[nodiscard]] NamedFactory lfa_post_convergence() const;
   [[nodiscard]] NamedFactory spf() const;
 
   /// The trio the paper's Figure 2 compares, in plot order.
@@ -61,6 +67,14 @@ class ProtocolSuite {
   embed::Embedding embedding_;
   route::RoutingDb routes_;
   core::CycleFollowingTable cycles_;
+  /// Shared pristine-table LFA instances: the alternates depend only on
+  /// routes_, so building one per scenario (the old factory behaviour) was
+  /// pure waste -- an O(n^2 * degree) precompute per scenario.  forward() is
+  /// read-only, so sweep workers may share these concurrently; `mutable`
+  /// because the ForwardingProtocol interface is non-const while the suite's
+  /// factories are const.
+  mutable route::LfaRouting lfa_link_;
+  mutable route::LfaRouting lfa_node_;
 };
 
 }  // namespace pr::analysis

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace pr::graph {
@@ -140,6 +141,114 @@ Graph random_outerplanar(std::size_t n, std::size_t chords, Rng& rng) {
     --chords;
   }
   return g;
+}
+
+IspTopology hierarchical_isp(const IspParams& params, Rng& rng) {
+  if (params.core < 3) {
+    throw std::invalid_argument("hierarchical_isp: need core >= 3");
+  }
+  if (params.aggs_per_core == 0) {
+    throw std::invalid_argument("hierarchical_isp: need aggs_per_core >= 1");
+  }
+  if (params.agg_cross_link_prob < 0 || params.agg_cross_link_prob > 1) {
+    throw std::invalid_argument("hierarchical_isp: cross-link prob in [0,1]");
+  }
+  if (params.core_weight <= 0 || params.agg_weight <= 0 ||
+      params.edge_weight <= 0) {
+    throw std::invalid_argument("hierarchical_isp: weights must be positive");
+  }
+
+  IspTopology t;
+  t.core_count = params.core;
+  t.aggregation_count = params.core * params.aggs_per_core;
+  t.edge_router_count = t.aggregation_count * params.edges_per_agg;
+  Graph& g = t.graph;
+  for (std::size_t i = 0; i < t.core_count; ++i) g.add_node("c" + std::to_string(i));
+  for (std::size_t i = 0; i < t.aggregation_count; ++i) {
+    g.add_node("a" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < t.edge_router_count; ++i) {
+    g.add_node("e" + std::to_string(i));
+  }
+
+  std::set<std::pair<NodeId, NodeId>> used;
+  const auto add_once = [&](NodeId u, NodeId v, Weight w) {
+    if (u == v) return false;
+    const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    if (!used.insert(key).second) return false;
+    g.add_edge(u, v, w);
+    return true;
+  };
+
+  // Core: ring plus degree-preferential chords (Barabasi-Albert flavour).
+  // The urn holds each core node once per incident core link, so
+  // well-connected cores attract further chords -- the heavy-tailed backbone
+  // degrees the Topology Zoo carrier maps show.
+  std::vector<NodeId> urn;
+  for (NodeId c = 0; c < params.core; ++c) {
+    const auto next = static_cast<NodeId>((c + 1) % params.core);
+    add_once(c, next, params.core_weight);
+    urn.push_back(c);
+    urn.push_back(next);
+  }
+  std::size_t placed = 0;
+  std::size_t attempts = 8 * params.core_extra_chords + 64;
+  while (placed < params.core_extra_chords && attempts-- > 0) {
+    const NodeId u = urn[rng.below(urn.size())];
+    const NodeId v = urn[rng.below(urn.size())];
+    if (!add_once(u, v, params.core_weight)) continue;
+    urn.push_back(u);
+    urn.push_back(v);
+    ++placed;
+  }
+
+  // Aggregation tier: aggs_per_core per core, each dual-homed to its owning
+  // core and that core's ring successor.  Two uplinks to DISTINCT nodes of an
+  // already 2-edge-connected subgraph form an ear, so 2-edge-connectivity is
+  // preserved tier by tier.
+  const auto agg_base = static_cast<NodeId>(t.core_count);
+  for (std::size_t i = 0; i < t.aggregation_count; ++i) {
+    const auto agg = static_cast<NodeId>(agg_base + i);
+    const auto home = static_cast<NodeId>(i / params.aggs_per_core);
+    const auto backup = static_cast<NodeId>((home + 1) % params.core);
+    add_once(agg, home, params.agg_weight);
+    add_once(agg, backup, params.agg_weight);
+  }
+  // Lateral aggregation peerings (metro-ring shortcuts).
+  for (std::size_t i = 0; i < t.aggregation_count; ++i) {
+    if (!rng.chance(params.agg_cross_link_prob)) continue;
+    const std::size_t j = rng.below(t.aggregation_count);
+    add_once(static_cast<NodeId>(agg_base + i), static_cast<NodeId>(agg_base + j),
+             params.agg_weight);
+  }
+
+  // Edge tier: dual-homed to the owning aggregation and its successor
+  // (distinct because the aggregation tier always has >= 3 routers).
+  const auto edge_base = static_cast<NodeId>(t.core_count + t.aggregation_count);
+  for (std::size_t i = 0; i < t.edge_router_count; ++i) {
+    const auto er = static_cast<NodeId>(edge_base + i);
+    const std::size_t owner = i / params.edges_per_agg;
+    add_once(er, static_cast<NodeId>(agg_base + owner), params.edge_weight);
+    add_once(er,
+             static_cast<NodeId>(agg_base + (owner + 1) % t.aggregation_count),
+             params.edge_weight);
+  }
+  return t;
+}
+
+IspParams sized_isp_params(std::size_t approx_nodes) {
+  if (approx_nodes < 27) {
+    throw std::invalid_argument("sized_isp_params: need approx_nodes >= 27");
+  }
+  IspParams p;
+  p.core = std::clamp<std::size_t>(approx_nodes / 64, 8, 64);
+  p.aggs_per_core = 3;
+  // Solve approx = core * (1 + aggs * (1 + e)) for the edge fan-out.
+  const double per_core = static_cast<double>(approx_nodes) / static_cast<double>(p.core);
+  const double e = (per_core - 1.0) / static_cast<double>(p.aggs_per_core) - 1.0;
+  p.edges_per_agg = e < 1.0 ? 1 : static_cast<std::size_t>(std::llround(e));
+  p.core_extra_chords = p.core / 2;
+  return p;
 }
 
 Graph petersen() {

@@ -46,6 +46,46 @@ namespace pr::graph {
 /// for the genus-0 guarantee suites.
 [[nodiscard]] Graph random_outerplanar(std::size_t n, std::size_t chords, Rng& rng);
 
+/// Parameters of the hierarchical ISP generator.  The defaults give a small
+/// carrier-like network (~12 core + 36 aggregation + 216 edge routers);
+/// benches and the backbone suites scale the per-tier counts up to the 1k-10k
+/// regime.  Total nodes = core * (1 + aggs_per_core * (1 + edges_per_agg)).
+struct IspParams {
+  std::size_t core = 12;             ///< backbone routers (>= 3)
+  std::size_t aggs_per_core = 3;     ///< aggregation routers homed per core
+  std::size_t edges_per_agg = 6;     ///< access routers per aggregation
+  std::size_t core_extra_chords = 6; ///< preferential core chords beyond the ring
+  double agg_cross_link_prob = 0.3;  ///< chance an aggregation peers laterally
+  Weight core_weight = 1.0;          ///< backbone link weight
+  Weight agg_weight = 2.0;           ///< aggregation uplink weight
+  Weight edge_weight = 4.0;          ///< access uplink weight
+};
+
+/// A generated hierarchy: node ids are tier-contiguous -- cores first
+/// ([0, core_count)), then aggregations, then edge routers -- with labels
+/// "c<i>" / "a<i>" / "e<i>".
+struct IspTopology {
+  Graph graph;
+  std::size_t core_count = 0;
+  std::size_t aggregation_count = 0;
+  std::size_t edge_router_count = 0;
+};
+
+/// Hierarchical ISP topology in the style of Topology-Zoo carrier maps:
+/// a 2-edge-connected core (ring + preferential-attachment chords, giving the
+/// heavy-tailed backbone degrees real ISPs show), aggregation routers each
+/// dual-homed to two distinct cores, and edge routers each dual-homed to two
+/// distinct aggregations.  Every tier attaches by two disjoint uplinks, so
+/// the whole graph is 2-edge-connected by construction -- the precondition of
+/// the paper's single-failure guarantee.  Deterministic for a given (params,
+/// rng state).
+[[nodiscard]] IspTopology hierarchical_isp(const IspParams& params, Rng& rng);
+
+/// IspParams whose tier counts multiply out to roughly `approx_nodes` total
+/// routers (>= 27), keeping carrier-like tier ratios.  The shared sizing
+/// helper of bench_backbone and the backbone test suites.
+[[nodiscard]] IspParams sized_isp_params(std::size_t approx_nodes);
+
 /// Petersen graph: the classic small non-planar (genus 1) test case.
 [[nodiscard]] Graph petersen();
 

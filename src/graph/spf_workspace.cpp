@@ -29,8 +29,10 @@ SpfWorkspace::Entry SpfWorkspace::heap_pop() {
   return top;
 }
 
-void SpfWorkspace::run(const Graph& g, const EdgeSet* excluded, Weight* dist,
-                       std::uint32_t* hops, DartId* next_dart, bool orphan_only) {
+template <typename SkipRelax>
+void SpfWorkspace::run_impl(const Graph& g, const EdgeSet* excluded, Weight* dist,
+                            std::uint32_t* hops, DartId* next_dart,
+                            SkipRelax skip_relax) {
   while (!heap_.empty()) {
     const Entry e = heap_pop();
     const NodeId v = e.node;
@@ -43,7 +45,7 @@ void SpfWorkspace::run(const Graph& g, const EdgeSet* excluded, Weight* dist,
       const EdgeId edge = dart_edge(d_vu);
       if (excluded != nullptr && excluded->contains(edge)) continue;
       const NodeId u = g.dart_head(d_vu);
-      if (orphan_only && state_[u] != kOrphan) continue;
+      if (skip_relax(u)) continue;
       const Weight cand = e.cost + g.edge_weight(edge);
       const std::uint32_t cand_hops = e.hops + 1;
       if (cand < dist[u] || (cand == dist[u] && cand_hops < hops[u])) {
@@ -70,7 +72,7 @@ void SpfWorkspace::full_build(const Graph& g, NodeId destination,
   hops[destination] = 0;
   heap_.clear();
   heap_push(Entry{0.0, 0U, destination});
-  run(g, excluded, dist, hops, next_dart, /*orphan_only=*/false);
+  run_impl(g, excluded, dist, hops, next_dart, [](NodeId) { return false; });
 }
 
 void SpfWorkspace::repair(const Graph& g, NodeId destination, const EdgeSet& excluded,
@@ -140,7 +142,90 @@ void SpfWorkspace::repair(const Graph& g, NodeId destination, const EdgeSet& exc
       }
     }
   }
-  run(g, &excluded, dist, hops, next_dart, /*orphan_only=*/true);
+  run_impl(g, &excluded, dist, hops, next_dart,
+           [this](NodeId u) { return state_[u] != kOrphan; });
+}
+
+void SpfWorkspace::advance_stamps(std::size_t n) {
+  if (stamp_.size() < n) stamp_.resize(n, 0);
+  // Marks come in (orphan, seed) pairs; wrap the counter well before the pair
+  // could collide with stale marks from a previous epoch.
+  if (stamp_cur_ >= std::numeric_limits<std::uint32_t>::max() - 3) {
+    std::fill(stamp_.begin(), stamp_.end(), 0U);
+    stamp_cur_ = 0;
+  }
+  stamp_cur_ += 2;
+}
+
+std::span<const NodeId> SpfWorkspace::repair_tree(const Graph& g,
+                                                  const EdgeSet& excluded,
+                                                  Weight* dist, std::uint32_t* hops,
+                                                  DartId* next_dart,
+                                                  TreeChildren children) {
+  orphans_.clear();
+  if (excluded.empty()) return orphans_;  // pristine columns already correct
+  advance_stamps(g.node_count());
+  const std::uint32_t orphan_mark = stamp_cur_;
+  const std::uint32_t seed_mark = stamp_cur_ + 1;
+
+  // 1. Roots: a failed edge e is in this tree exactly when one of its
+  //    endpoints routes over it (two would form a 2-cycle), so the orphan
+  //    subtree roots are found in O(1) per failed edge -- no whole-tree
+  //    classification pass.
+  chain_.clear();
+  for (const EdgeId e : excluded.elements()) {
+    if (e >= g.edge_count()) continue;  // unknown edge id
+    for (const NodeId v : {g.edge_u(e), g.edge_v(e)}) {
+      const DartId d = next_dart[v];
+      if (d != kInvalidDart && dart_edge(d) == e && stamp_[v] != orphan_mark) {
+        stamp_[v] = orphan_mark;
+        chain_.push_back(v);
+      }
+    }
+  }
+  if (chain_.empty()) return orphans_;  // no failed edge is a tree edge
+
+  // 2. The orphan set is the union of the pristine subtrees below the roots:
+  //    descend the child lists (marks dedup nested failed edges), touching
+  //    only the damaged region.
+  while (!chain_.empty()) {
+    const NodeId v = chain_.back();
+    chain_.pop_back();
+    orphans_.push_back(v);
+    for (std::uint32_t i = children.offsets[v]; i < children.offsets[v + 1]; ++i) {
+      const NodeId child = children.ids[i];
+      if (stamp_[child] != orphan_mark) {
+        stamp_[child] = orphan_mark;
+        chain_.push_back(child);
+      }
+    }
+  }
+
+  // 3. Detach and regrow, exactly as repair(): reset the orphans, push every
+  //    reachable safe node adjacent to an orphan over a surviving edge once
+  //    with its final label, then run the restricted relax loop.  Push order
+  //    differs from repair()'s node-id order, but entries are pairwise
+  //    distinct so the pop order -- and therefore every recorded parent
+  //    dart -- is identical.
+  for (const NodeId v : orphans_) {
+    dist[v] = kUnreachable;
+    hops[v] = kNoHops;
+    next_dart[v] = kInvalidDart;
+  }
+  heap_.clear();
+  for (const NodeId v : orphans_) {
+    for (const DartId d : g.out_darts(v)) {
+      if (excluded.contains(dart_edge(d))) continue;
+      const NodeId u = g.dart_head(d);
+      if (stamp_[u] == orphan_mark || stamp_[u] == seed_mark) continue;
+      if (dist[u] == kUnreachable) continue;
+      stamp_[u] = seed_mark;
+      heap_push(Entry{dist[u], hops[u], u});
+    }
+  }
+  run_impl(g, &excluded, dist, hops, next_dart,
+           [this, orphan_mark](NodeId u) { return stamp_[u] != orphan_mark; });
+  return orphans_;
 }
 
 }  // namespace pr::graph

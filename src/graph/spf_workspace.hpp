@@ -8,7 +8,7 @@
 // (e.g. route::RoutingDb's contiguous destination-major arrays).  Capacity is
 // retained across calls, so a warm workspace allocates nothing.
 //
-// Two entry points:
+// Three entry points:
 //   * full_build: Dijkstra from scratch, bit-identical to the classic
 //     graph::shortest_paths_to (which is now a thin wrapper over it).
 //   * repair: Ramalingam-Reps-style delta repair.  Given columns holding the
@@ -17,9 +17,17 @@
 //     seeded in the exact (cost, hops, node-id) pop order a from-scratch run
 //     would relax them in -- so the repaired columns are bit-identical
 //     (dist, hops AND next_dart) to a full rebuild under the same exclusions.
+//   * repair_tree: the backbone-sweep fast path.  Same post-state as repair,
+//     but every per-tree cost is O(orphan region), not O(n): orphan subtrees
+//     are discovered by descending precomputed pristine child lists from the
+//     failed tree edges, and all per-node scratch is epoch-stamped so nothing
+//     is cleared per call.  A sweep batching many destination trees per
+//     scenario through one workspace (route::RoutingDb::rebuild) therefore
+//     pays for the trees' damage, not for the topology size.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -45,6 +53,32 @@ class SpfWorkspace {
   /// parent choice is preserved), so only orphaned subtrees are regrown.
   void repair(const Graph& g, NodeId destination, const EdgeSet& excluded,
               Weight* dist, std::uint32_t* hops, DartId* next_dart);
+
+  /// Child lists of one destination's pristine shortest-path tree in CSR form:
+  /// node v's tree children are ids[offsets[v]] .. ids[offsets[v + 1]], with
+  /// offsets absolute into the shared id array (so per-destination slices of
+  /// one flat index share a single payload; route::RoutingDb materialises the
+  /// index this way for all destinations at once).
+  struct TreeChildren {
+    const std::uint32_t* offsets;
+    const NodeId* ids;
+  };
+
+  /// Batched-sweep tree repair.  The columns must hold the pristine tree and
+  /// `children` must describe that same tree; on return the columns equal
+  /// what repair() / a from-scratch build with `excluded` would produce, bit
+  /// for bit.  Unlike repair(), no step scans all n nodes: the orphan set is
+  /// the union of pristine subtrees hanging below excluded tree edges, found
+  /// by descending the child lists from the failed darts' tail endpoints, and
+  /// the per-node marks are epoch stamps that are never cleared.  Returns the
+  /// orphan list -- the exact set of rows that may now differ from pristine
+  /// (callers use it for sparse restores); valid until the next workspace
+  /// call.
+  [[nodiscard]] std::span<const NodeId> repair_tree(const Graph& g,
+                                                    const EdgeSet& excluded,
+                                                    Weight* dist, std::uint32_t* hops,
+                                                    DartId* next_dart,
+                                                    TreeChildren children);
 
  private:
   /// Heap key: the canonical Dijkstra pop order (cost, hops, node id).
@@ -73,15 +107,23 @@ class SpfWorkspace {
   void heap_push(Entry e);
   [[nodiscard]] Entry heap_pop();
 
-  /// Shared pop/relax loop.  When `orphan_only` is set, relaxations are
-  /// restricted to nodes classified kOrphan (safe labels are final and the
-  /// reference run could never improve them either).
-  void run(const Graph& g, const EdgeSet* excluded, Weight* dist,
-           std::uint32_t* hops, DartId* next_dart, bool orphan_only);
+  /// Shared pop/relax loop.  `skip_relax(u)` vetoes label updates for node u;
+  /// repair passes filters that restrict relaxation to orphans (safe labels
+  /// are final and the reference run could never improve them either).
+  template <typename SkipRelax>
+  void run_impl(const Graph& g, const EdgeSet* excluded, Weight* dist,
+                std::uint32_t* hops, DartId* next_dart, SkipRelax skip_relax);
+
+  /// Advances the epoch-stamp pair used by repair_tree (orphan mark, seed
+  /// mark) and sizes stamp_ for `n` nodes, zeroing it only on counter wrap.
+  void advance_stamps(std::size_t n);
 
   std::vector<Entry> heap_;
   std::vector<std::uint8_t> state_;  ///< per-node role during repair
-  std::vector<NodeId> chain_;        ///< scratch for the memoised orphan walk
+  std::vector<NodeId> chain_;        ///< memoised-walk / subtree-BFS scratch
+  std::vector<std::uint32_t> stamp_;  ///< repair_tree per-node epoch marks
+  std::uint32_t stamp_cur_ = 0;       ///< current orphan mark (seed = cur + 1)
+  std::vector<NodeId> orphans_;       ///< repair_tree result list
 };
 
 }  // namespace pr::graph

@@ -1,5 +1,7 @@
 #include "route/igp.hpp"
 
+#include <algorithm>
+
 namespace pr::route {
 
 using graph::EdgeId;
@@ -14,8 +16,11 @@ class LinkStateIgp::Forwarding final : public net::ForwardingProtocol {
                                                 graph::DartId /*arrived_over*/,
                                                 net::Packet& packet) override {
     if (at == packet.destination) return net::ForwardingDecision::deliver();
-    const auto& table = igp_->tables_[at];
-    const graph::DartId out = table.next_dart(at, packet.destination);
+    // COW lookup: this router's overlay diff when it has one for the
+    // destination, else the shared pristine snapshot.
+    const graph::DartId out = igp_->overlays_[at].next_dart_or(
+        packet.destination,
+        igp_->shared_db_.pristine_next_dart(at, packet.destination));
     if (out == graph::kInvalidDart) {
       return net::ForwardingDecision::drop(net::DropReason::kNoRoute);
     }
@@ -41,16 +46,30 @@ LinkStateIgp::~LinkStateIgp() = default;
 net::ForwardingProtocol& LinkStateIgp::protocol() noexcept { return *protocol_; }
 
 LinkStateIgp::LinkStateIgp(net::Simulator& sim, net::Network& network, Timings timings)
-    : sim_(&sim), network_(&network), timings_(timings) {
+    : sim_(&sim),
+      network_(&network),
+      timings_(timings),
+      shared_db_(network.graph()) {
   const auto& g = network.graph();
+  // Snapshot the pristine columns up front: the data plane resolves overlay
+  // misses against pristine_next_dart() from the very first packet, while the
+  // shared live columns get rebuilt per recompute.
+  shared_db_.prepare_incremental();
   known_failures_.reserve(g.node_count());
-  tables_.reserve(g.node_count());
+  overlays_.resize(g.node_count());
   recompute_pending_.assign(g.node_count(), 0);
   for (NodeId v = 0; v < g.node_count(); ++v) {
     known_failures_.emplace_back(g.edge_count());
-    tables_.emplace_back(g);
+    overlays_[v].reset(g.node_count());
   }
   protocol_ = std::make_unique<Forwarding>(*this);
+}
+
+std::size_t LinkStateIgp::table_bytes() const noexcept {
+  std::size_t total = shared_db_.bytes() +
+                      shared_failures_.capacity() * sizeof(graph::EdgeId);
+  for (const auto& overlay : overlays_) total += overlay.bytes();
+  return total;
 }
 
 void LinkStateIgp::on_link_failure(EdgeId e) {
@@ -89,10 +108,17 @@ void LinkStateIgp::schedule_recompute(NodeId v) {
   recompute_pending_[v] = 1;
   sim_->after(timings_.spf_delay, [this, v] {
     recompute_pending_[v] = 0;
-    // In-place delta repair against the router's pristine tables: no n^2
-    // column allocations per SPF run, and only the destination trees that
-    // use a known-failed edge are recomputed.
-    tables_[v].rebuild(known_failures_[v], spf_workspace_);
+    // Delta-repair the SHARED db to this router's knowledge (skipped when the
+    // previous recompute already left it there -- common once flooding has
+    // equalised the link-state databases), then snapshot the router's sparse
+    // row diff.  No per-router n^2 columns anywhere.
+    const auto known = known_failures_[v].elements();
+    if (known.size() != shared_failures_.size() ||
+        !std::equal(known.begin(), known.end(), shared_failures_.begin())) {
+      shared_db_.rebuild(known_failures_[v], spf_workspace_);
+      shared_failures_.assign(known.begin(), known.end());
+    }
+    overlays_[v].assign_row(shared_db_, v);
     ++spf_runs_;
     last_update_ = sim_->now();
   });

@@ -24,6 +24,7 @@
 #include "graph/spf_workspace.hpp"
 #include "net/event_sim.hpp"
 #include "net/forwarding.hpp"
+#include "route/overlay.hpp"
 #include "route/routing_db.hpp"
 
 namespace pr::route {
@@ -69,6 +70,12 @@ class LinkStateIgp {
   /// SPF recomputations performed across all routers.
   [[nodiscard]] std::uint64_t spf_runs() const noexcept { return spf_runs_; }
 
+  /// Total allocator footprint of the routing state: the shared db (live
+  /// columns + pristine snapshot + rebuild indices) plus every router's COW
+  /// overlay.  The number bench_router_memory compares against the O(n^3)
+  /// per-router-copies design this replaced.
+  [[nodiscard]] std::size_t table_bytes() const noexcept;
+
  private:
   class Forwarding;
 
@@ -81,12 +88,19 @@ class LinkStateIgp {
   net::Network* network_;
   Timings timings_;
 
-  /// Per-router link-state database (known failed edges) and routing table.
-  /// SPF recomputation repairs each router's table in place (delta SPF over
-  /// the pristine build) instead of allocating a fresh n^2 RoutingDb per run;
-  /// the workspace is shared because the event simulator is single-threaded.
+  /// Per-router link-state database (known failed edges), and the COW
+  /// routing state: ONE shared db delta-rebuilt to a recomputing router's
+  /// known-failure set (memoised via shared_failures_, so routers converging
+  /// on the same knowledge share one repair), from which each router keeps
+  /// only its sparse row overlay -- O(n^2) + damage across the network
+  /// instead of the former n full RoutingDb copies (O(n^3)).  The data plane
+  /// resolves lookups overlay-first against the shared pristine snapshot, so
+  /// forwarding is bit-identical to the per-router-copies design.  The
+  /// workspace is shared because the event simulator is single-threaded.
   std::vector<graph::EdgeSet> known_failures_;
-  std::vector<RoutingDb> tables_;
+  RoutingDb shared_db_;
+  std::vector<graph::EdgeId> shared_failures_;  ///< set shared_db_ reflects
+  std::vector<RouterTableOverlay> overlays_;
   graph::SpfWorkspace spf_workspace_;
   std::vector<std::uint8_t> recompute_pending_;
   std::size_t injected_failures_ = 0;

@@ -7,38 +7,70 @@ LfaRouting::LfaRouting(const RoutingDb& routes, LfaKind kind)
   const Graph& g = routes.graph();
   const std::size_t n = g.node_count();
   alternate_.assign(n * n, graph::kInvalidDart);
-
   for (NodeId dest = 0; dest < n; ++dest) {
     for (NodeId v = 0; v < n; ++v) {
-      if (v == dest || !routes.reachable(v, dest)) continue;
-      const DartId primary = routes.next_dart(v, dest);
-      const NodeId primary_hop = g.dart_head(primary);
-      const Weight d_v_t = routes.cost(v, dest);
-      Weight best_cost = graph::kUnreachable;
-      DartId best = graph::kInvalidDart;
-      for (DartId cand : g.out_darts(v)) {
-        if (cand == primary) continue;
-        const NodeId nb = g.dart_head(cand);
-        if (!routes.reachable(nb, dest)) continue;
-        const Weight d_n_t = routes.cost(nb, dest);
-        const Weight d_n_v = routes.cost(nb, v);
-        if (!(d_n_t < d_n_v + d_v_t)) continue;  // RFC 5286 loop-free condition
-        if (kind_ == LfaKind::kNodeProtecting && nb != dest &&
-            primary_hop != dest) {
-          // Must also avoid the primary next-hop router entirely.
-          const Weight d_n_p = routes.cost(nb, primary_hop);
-          const Weight d_p_t = routes.cost(primary_hop, dest);
-          if (!(d_n_t < d_n_p + d_p_t)) continue;
-        }
-        const Weight via = g.edge_weight(graph::dart_edge(cand)) + d_n_t;
-        if (via < best_cost) {
-          best_cost = via;
-          best = cand;
-        }
-      }
-      alternate_[index(v, dest)] = best;
+      alternate_[index(v, dest)] = compute_pair(g, v, dest);
     }
   }
+  const auto dirty = routes.dirty_destinations();
+  synced_dirty_.assign(dirty.begin(), dirty.end());
+}
+
+DartId LfaRouting::compute_pair(const Graph& g, NodeId v, NodeId dest) const {
+  const RoutingDb& routes = *routes_;
+  if (v == dest || !routes.reachable(v, dest)) return graph::kInvalidDart;
+  const DartId primary = routes.next_dart(v, dest);
+  const NodeId primary_hop = g.dart_head(primary);
+  const Weight d_v_t = routes.cost(v, dest);
+  Weight best_cost = graph::kUnreachable;
+  DartId best = graph::kInvalidDart;
+  for (DartId cand : g.out_darts(v)) {
+    if (cand == primary) continue;
+    const NodeId nb = g.dart_head(cand);
+    if (!routes.reachable(nb, dest)) continue;
+    const Weight d_n_t = routes.cost(nb, dest);
+    const Weight d_n_v = routes.cost(nb, v);
+    if (!(d_n_t < d_n_v + d_v_t)) continue;  // RFC 5286 loop-free condition
+    if (kind_ == LfaKind::kNodeProtecting && nb != dest && primary_hop != dest) {
+      // Must also avoid the primary next-hop router entirely.
+      const Weight d_n_p = routes.cost(nb, primary_hop);
+      const Weight d_p_t = routes.cost(primary_hop, dest);
+      if (!(d_n_t < d_n_p + d_p_t)) continue;
+    }
+    const Weight via = g.edge_weight(graph::dart_edge(cand)) + d_n_t;
+    if (via < best_cost) {
+      best_cost = via;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+void LfaRouting::resync() {
+  const Graph& g = routes_->graph();
+  const std::size_t n = g.node_count();
+  const auto dirty = routes_->dirty_destinations();
+  ++resyncs_;
+  if (synced_dirty_.empty() && dirty.empty()) return;  // nothing moved
+  col_flag_.assign(n, 0);
+  for (const NodeId c : synced_dirty_) col_flag_[c] = 1;
+  for (const NodeId c : dirty) col_flag_[c] = 1;
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId t = 0; t < n; ++t) {
+      bool stale = col_flag_[t] != 0 || col_flag_[v] != 0;
+      if (!stale && kind_ == LfaKind::kNodeProtecting && v != t &&
+          routes_->reachable(v, t)) {
+        // Column t is clean here, so the current primary hop equals the one
+        // the stored alternate was derived with -- flag on ITS column too.
+        stale = col_flag_[g.dart_head(routes_->next_dart(v, t))] != 0;
+      }
+      if (stale) {
+        alternate_[index(v, t)] = compute_pair(g, v, t);
+        ++pairs_recomputed_;
+      }
+    }
+  }
+  synced_dirty_.assign(dirty.begin(), dirty.end());
 }
 
 net::ForwardingDecision LfaRouting::forward(const net::Network& net, NodeId at,

@@ -1,0 +1,28 @@
+#include "route/overlay.hpp"
+
+namespace pr::route {
+
+void RouterTableOverlay::reset(std::size_t dest_count) {
+  if (slot_of_.size() != dest_count) {
+    slot_of_.assign(dest_count, kNoSlot);
+  } else {
+    for (const NodeId dest : dests_) slot_of_[dest] = kNoSlot;
+  }
+  dests_.clear();
+  next_.clear();
+}
+
+void RouterTableOverlay::assign_row(const RoutingDb& db, NodeId router) {
+  for (const NodeId dest : dests_) slot_of_[dest] = kNoSlot;
+  dests_.clear();
+  next_.clear();
+  for (const NodeId dest : db.dirty_destinations()) {
+    const DartId now = db.next_dart(router, dest);
+    if (now == db.pristine_next_dart(router, dest)) continue;
+    slot_of_[dest] = static_cast<std::uint32_t>(dests_.size());
+    dests_.push_back(dest);
+    next_.push_back(now);
+  }
+}
+
+}  // namespace pr::route

@@ -1,0 +1,60 @@
+// Copy-on-write per-router routing state over a shared RoutingDb.
+//
+// The event-driven IGP used to give every router its own full RoutingDb --
+// O(n^3) memory across the network, which is what capped the event-sim
+// experiments at GEANT size (a 4k-router backbone would need ~1 TB).  The
+// observation that fixes it: a router's data plane only ever reads ITS OWN
+// row of the tables, and after any single rebuild that row differs from the
+// pristine tables in at most the rebuild's dirty destinations.  So per-router
+// state collapses to a sparse overlay -- the (destination -> next dart) pairs
+// where this router's converged route differs from pristine -- resolved
+// against one shared pristine snapshot on lookup.  Network-wide memory
+// becomes one shared db plus O(total damage), not O(n) full copies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "route/routing_db.hpp"
+
+namespace pr::route {
+
+class RouterTableOverlay {
+ public:
+  /// Sizes the dense slot map for `dest_count` destinations and empties the
+  /// overlay (the router forwards purely on pristine state).  Capacity is
+  /// retained, so re-assignments after the first allocate nothing.
+  void reset(std::size_t dest_count);
+
+  /// Replaces the overlay with router `router`'s diffs out of `db`, which
+  /// must currently hold the converged tables this router should forward
+  /// with (typically a shared db just rebuilt for the router's known-failure
+  /// set).  Only db.dirty_destinations() can differ from pristine, so the
+  /// scan is O(dirty), not O(n).
+  void assign_row(const RoutingDb& db, NodeId router);
+
+  /// The router's next dart toward `dest`: the overlay entry when one
+  /// exists, else `pristine` (caller passes db.pristine_next_dart(...)).
+  [[nodiscard]] DartId next_dart_or(NodeId dest, DartId pristine) const noexcept {
+    const std::uint32_t slot = slot_of_[dest];
+    return slot == kNoSlot ? pristine : next_[slot];
+  }
+
+  /// Number of (destination, next dart) diffs currently stored.
+  [[nodiscard]] std::size_t entries() const noexcept { return dests_.size(); }
+
+  /// Allocator footprint of this overlay (slot map + diff arrays).
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return sizeof(*this) + slot_of_.capacity() * sizeof(std::uint32_t) +
+           dests_.capacity() * sizeof(NodeId) + next_.capacity() * sizeof(DartId);
+  }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffU;
+
+  std::vector<std::uint32_t> slot_of_;  ///< dest -> index into the diff arrays
+  std::vector<NodeId> dests_;           ///< destinations with a diff entry
+  std::vector<DartId> next_;            ///< the overriding next dart per entry
+};
+
+}  // namespace pr::route

@@ -6,6 +6,13 @@
 
 namespace pr::route {
 
+namespace {
+template <typename T>
+[[nodiscard]] std::size_t cap_bytes(const std::vector<T>& v) noexcept {
+  return v.capacity() * sizeof(T);
+}
+}  // namespace
+
 RoutingDb::RoutingDb(const Graph& g, const graph::EdgeSet* excluded,
                      DiscriminatorKind kind)
     : graph_(&g), kind_(kind), node_count_(g.node_count()) {
@@ -56,13 +63,39 @@ void RoutingDb::ensure_incremental_state() {
   pristine_dist_ = dist_;
   pristine_hops_ = hops_;
   col_max_disc_.resize(node_count_);
+  pristine_col_argmax_.resize(node_count_);
   for (NodeId dest = 0; dest < node_count_; ++dest) {
-    col_max_disc_[dest] = column_max_discriminator(dest);
+    // Track the argmax row alongside the max: a rebuild only rescans a column
+    // when that one row was orphaned (every other row either keeps its
+    // pristine discriminator or is in the orphan list the repair hands back).
+    const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
+    std::uint32_t best = 0;
+    NodeId best_at = dest;  // the dest row is always reachable with disc 0
+    for (NodeId at = 0; at < node_count_; ++at) {
+      if (dist_[base + at] == graph::kUnreachable) continue;
+      const std::uint32_t d = disc_at(base + at);
+      if (d > best) {
+        best = d;
+        best_at = at;
+      }
+    }
+    col_max_disc_[dest] = best;
+    pristine_col_argmax_[dest] = best_at;
   }
   pristine_col_max_disc_ = col_max_disc_;
   build_edge_dest_index();
+  build_children_index();
   dest_flag_.assign(node_count_, 0);
   incremental_ready_ = true;
+}
+
+void RoutingDb::prepare_incremental() {
+  if (baseline_excluded_) {
+    throw std::logic_error(
+        "RoutingDb::prepare_incremental: only supported on a db built without "
+        "a baseline exclusion set");
+  }
+  ensure_incremental_state();
 }
 
 void RoutingDb::build_edge_dest_index() {
@@ -91,8 +124,65 @@ void RoutingDb::build_edge_dest_index() {
   }
 }
 
+void RoutingDb::build_children_index() {
+  const std::size_t n = node_count_;
+  child_offsets_.assign(n * (n + 1), 0);
+  child_ids_.resize(edge_dest_ids_.size());  // one entry per tree edge, too
+  std::vector<std::uint32_t> cursor(n);
+  std::uint32_t running = 0;
+  for (NodeId dest = 0; dest < n; ++dest) {
+    const std::size_t base = dest * n;
+    std::uint32_t* off = child_offsets_.data() + dest * (n + 1);
+    // Count each node's children (child v's parent is the head of its next
+    // dart), then prefix into absolute offsets continuing from the previous
+    // destination's slice.
+    for (NodeId v = 0; v < n; ++v) {
+      const DartId d = pristine_next_dart_[base + v];
+      if (d != graph::kInvalidDart) ++off[graph_->dart_head(d) + 1];
+    }
+    off[0] = running;
+    for (std::size_t i = 1; i <= n; ++i) off[i] += off[i - 1];
+    running = off[n];
+    std::copy_n(off, n, cursor.data());
+    for (NodeId v = 0; v < n; ++v) {
+      const DartId d = pristine_next_dart_[base + v];
+      if (d != graph::kInvalidDart) child_ids_[cursor[graph_->dart_head(d)]++] = v;
+    }
+  }
+}
+
+void RoutingDb::restore_dirty_columns() {
+  // The batched drive records exactly which rows each repair changed, so
+  // undoing the previous scenario replays those rows instead of memcpying
+  // whole O(n) columns -- the second half of making a sweep step cost
+  // O(damage).  The legacy drive leaves no row records (changed_offsets_
+  // empty), falling back to dense column restores.
+  const bool sparse = changed_offsets_.size() == dirty_dests_.size() + 1;
+  for (std::size_t c = 0; c < dirty_dests_.size(); ++c) {
+    const NodeId dest = dirty_dests_[c];
+    const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
+    if (sparse) {
+      for (std::size_t i = changed_offsets_[c]; i < changed_offsets_[c + 1]; ++i) {
+        const std::size_t flat = base + changed_nodes_[i];
+        next_dart_[flat] = pristine_next_dart_[flat];
+        dist_[flat] = pristine_dist_[flat];
+        hops_[flat] = pristine_hops_[flat];
+      }
+    } else {
+      std::copy_n(pristine_next_dart_.data() + base, node_count_,
+                  next_dart_.data() + base);
+      std::copy_n(pristine_dist_.data() + base, node_count_, dist_.data() + base);
+      std::copy_n(pristine_hops_.data() + base, node_count_, hops_.data() + base);
+    }
+    col_max_disc_[dest] = pristine_col_max_disc_[dest];
+  }
+  dirty_dests_.clear();
+  changed_offsets_.clear();
+  changed_nodes_.clear();
+}
+
 void RoutingDb::rebuild(const graph::EdgeSet& excluded,
-                        graph::SpfWorkspace& workspace) {
+                        graph::SpfWorkspace& workspace, RepairDrive drive) {
   if (baseline_excluded_) {
     throw std::logic_error(
         "RoutingDb::rebuild: only supported on a db built without a baseline "
@@ -121,25 +211,54 @@ void RoutingDb::rebuild(const graph::EdgeSet& excluded,
     }
   }
 
-  // Restore every column a previous rebuild modified; repair then starts
-  // from the pristine tree state it requires.
-  for (const NodeId dest : dirty_dests_) {
-    const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
-    std::copy_n(pristine_next_dart_.data() + base, node_count_,
-                next_dart_.data() + base);
-    std::copy_n(pristine_dist_.data() + base, node_count_, dist_.data() + base);
-    std::copy_n(pristine_hops_.data() + base, node_count_, hops_.data() + base);
-    col_max_disc_[dest] = pristine_col_max_disc_[dest];
-  }
-  dirty_dests_.clear();
+  // Restore every row a previous rebuild modified; repair then starts from
+  // the pristine tree state it requires.
+  restore_dirty_columns();
 
-  for (const NodeId dest : affected_dests_) {
-    dest_flag_[dest] = 0;  // reset the scratch marks for the next rebuild
-    const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
-    workspace.repair(*graph_, dest, excluded, dist_.data() + base,
-                     hops_.data() + base, next_dart_.data() + base);
-    col_max_disc_[dest] = column_max_discriminator(dest);
-    dirty_dests_.push_back(dest);
+  if (drive == RepairDrive::kPerDestination) {
+    for (const NodeId dest : affected_dests_) {
+      dest_flag_[dest] = 0;  // reset the scratch marks for the next rebuild
+      const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
+      workspace.repair(*graph_, dest, excluded, dist_.data() + base,
+                       hops_.data() + base, next_dart_.data() + base);
+      col_max_disc_[dest] = column_max_discriminator(dest);
+      dirty_dests_.push_back(dest);
+    }
+  } else {
+    changed_offsets_.push_back(0);
+    for (const NodeId dest : affected_dests_) {
+      dest_flag_[dest] = 0;
+      const std::size_t base = static_cast<std::size_t>(dest) * node_count_;
+      const std::span<const NodeId> orphans = workspace.repair_tree(
+          *graph_, excluded, dist_.data() + base, hops_.data() + base,
+          next_dart_.data() + base, children_view(dest));
+      if (orphans.empty()) continue;  // defensive: tree untouched, stay clean
+      // The orphan list is exactly the set of rows that may now differ from
+      // pristine: record it for the next restore, and fold the regrown rows
+      // into the column maximum.  Non-orphan rows keep their pristine
+      // discriminators, so unless the pristine argmax row itself was orphaned
+      // the new maximum is max(pristine max, regrown rows' max) -- no column
+      // scan.  (A regrown row CAN shrink its discriminator -- a costlier
+      // surviving path may have fewer hops -- which is why the orphaned-
+      // argmax case rescans instead of assuming monotonicity.)
+      const NodeId argmax = pristine_col_argmax_[dest];
+      bool argmax_orphaned = false;
+      std::uint32_t orphan_max = 0;
+      for (const NodeId v : orphans) {
+        changed_nodes_.push_back(v);
+        argmax_orphaned = argmax_orphaned || v == argmax;
+        const std::size_t flat = base + v;
+        if (dist_[flat] != graph::kUnreachable) {
+          orphan_max = std::max(orphan_max, disc_at(flat));
+        }
+      }
+      changed_offsets_.push_back(changed_nodes_.size());
+      col_max_disc_[dest] =
+          argmax_orphaned
+              ? column_max_discriminator(dest)
+              : std::max(pristine_col_max_disc_[dest], orphan_max);
+      dirty_dests_.push_back(dest);
+    }
   }
 
   max_discriminator_ = col_max_disc_.empty()
@@ -154,6 +273,12 @@ std::uint32_t RoutingDb::discriminator(NodeId at, NodeId dest) const {
   }
   if (kind_ == DiscriminatorKind::kHops) return hops(at, dest);
   return static_cast<std::uint32_t>(std::llround(cost(at, dest)));
+}
+
+std::uint32_t RoutingDb::disc_at(std::size_t flat) const noexcept {
+  return kind_ == DiscriminatorKind::kHops
+             ? hops_[flat]
+             : static_cast<std::uint32_t>(std::llround(dist_[flat]));
 }
 
 std::uint32_t RoutingDb::column_max_discriminator(NodeId dest) const noexcept {
@@ -176,6 +301,18 @@ std::uint32_t RoutingDb::column_max_discriminator(NodeId dest) const noexcept {
 std::size_t RoutingDb::memory_bytes_per_router() const noexcept {
   // Per destination: next-hop interface id (4 B) + discriminator column (4 B).
   return graph_->node_count() * (sizeof(DartId) + sizeof(std::uint32_t));
+}
+
+std::size_t RoutingDb::bytes() const noexcept {
+  return sizeof(*this) + cap_bytes(next_dart_) + cap_bytes(dist_) +
+         cap_bytes(hops_) + cap_bytes(col_max_disc_) +
+         cap_bytes(pristine_next_dart_) + cap_bytes(pristine_dist_) +
+         cap_bytes(pristine_hops_) + cap_bytes(pristine_col_max_disc_) +
+         cap_bytes(pristine_col_argmax_) + cap_bytes(edge_dest_offsets_) +
+         cap_bytes(edge_dest_ids_) + cap_bytes(child_offsets_) +
+         cap_bytes(child_ids_) + cap_bytes(dirty_dests_) +
+         cap_bytes(dest_flag_) + cap_bytes(affected_dests_) +
+         cap_bytes(changed_offsets_) + cap_bytes(changed_nodes_);
 }
 
 }  // namespace pr::route

@@ -26,6 +26,20 @@ enum class DiscriminatorKind : std::uint8_t {
   kWeightedCost,  ///< sum of link weights (requires integral weights)
 };
 
+/// How rebuild() drives the per-destination tree repairs of a scenario.
+enum class RepairDrive : std::uint8_t {
+  /// Batched fast path (default): orphan subtrees discovered by descending
+  /// the pristine children index (O(region) per tree, epoch-stamped scratch),
+  /// restores replay only the rows the previous scenario changed, and column
+  /// maxima are maintained without full column scans.  Bit-identical output.
+  kBatchedTrees,
+  /// The pre-backbone scenario-at-a-time path: per-tree memoised-walk orphan
+  /// classification plus dense column restores and scans, each O(n).  Kept as
+  /// the measured baseline for bench_backbone and as a second oracle in the
+  /// equivalence tests.
+  kPerDestination,
+};
+
 /// All-destinations routing database computed over a graph, optionally minus
 /// an excluded (failed) edge set.  Conceptually one routing table per router;
 /// the hot lookup columns (next dart / cost / hops) are flattened into single
@@ -53,7 +67,31 @@ class RoutingDb {
   /// empty set restores the pristine tables exactly.  `workspace` supplies
   /// the reusable SPF scratch; only available on a db constructed without a
   /// baseline exclusion set (throws std::logic_error otherwise).
-  void rebuild(const graph::EdgeSet& excluded, graph::SpfWorkspace& workspace);
+  void rebuild(const graph::EdgeSet& excluded, graph::SpfWorkspace& workspace,
+               RepairDrive drive = RepairDrive::kBatchedTrees);
+
+  /// Materialises the incremental-rebuild state (pristine snapshot, edge ->
+  /// destination-tree index, children index) up front, so the first real
+  /// rebuild -- or a reader of pristine_next_dart()/dirty_destinations() --
+  /// pays no surprise O(n^2) pass.  Same restrictions as rebuild().
+  void prepare_incremental();
+
+  /// Destinations whose columns currently differ from the pristine tables
+  /// (empty when never rebuilt or after an empty-set rebuild).  Consumers:
+  /// sparse per-router overlays (route::RouterTableOverlay) and incremental
+  /// LFA alternate resync.
+  [[nodiscard]] std::span<const NodeId> dirty_destinations() const noexcept {
+    return dirty_dests_;
+  }
+
+  /// The PRISTINE (no-failure) first dart of `at`'s path toward `dest`,
+  /// regardless of what scenario the live tables currently reflect.  Before
+  /// the first rebuild the live tables are the pristine tables, so this is
+  /// total on any db built without a baseline exclusion set.
+  [[nodiscard]] DartId pristine_next_dart(NodeId at, NodeId dest) const noexcept {
+    return incremental_ready_ ? pristine_next_dart_[flat_index(at, dest)]
+                              : next_dart_[flat_index(at, dest)];
+  }
 
   /// First dart of `at`'s shortest path toward `dest`; kInvalidDart when
   /// at == dest or dest is unreachable.
@@ -93,6 +131,12 @@ class RoutingDb {
   /// only PR-specific addition, mirroring the paper's memory argument.
   [[nodiscard]] std::size_t memory_bytes_per_router() const noexcept;
 
+  /// Total process-memory footprint of this db: live columns plus (when
+  /// materialised) the pristine snapshot and the rebuild indices.  Counts
+  /// vector capacities, so it is what the allocator actually holds.  This is
+  /// the number the COW-overlay benches compare against per-router copies.
+  [[nodiscard]] std::size_t bytes() const noexcept;
+
  private:
   [[nodiscard]] std::size_t flat_index(NodeId at, NodeId dest) const noexcept {
     return static_cast<std::size_t>(dest) * node_count_ + at;
@@ -105,9 +149,28 @@ class RoutingDb {
   /// CSR index: for each edge, the destinations whose pristine tree uses it.
   void build_edge_dest_index();
 
+  /// CSR index: for each (destination, node), the node's children in that
+  /// destination's pristine tree -- what repair_tree descends to find orphan
+  /// subtrees in O(region).
+  void build_children_index();
+
   /// Lazily snapshots the pristine columns and builds the edge index on the
   /// first rebuild(), so dbs that never rebuild pay nothing extra.
   void ensure_incremental_state();
+
+  /// Undoes the previous scenario: sparse row restores when the last rebuild
+  /// recorded changed lists (batched drive), dense column memcpys otherwise.
+  void restore_dirty_columns();
+
+  [[nodiscard]] graph::SpfWorkspace::TreeChildren children_view(
+      NodeId dest) const noexcept {
+    return {child_offsets_.data() +
+                static_cast<std::size_t>(dest) * (node_count_ + 1),
+            child_ids_.data()};
+  }
+
+  /// Discriminator of one flat table cell (caller checks reachability).
+  [[nodiscard]] std::uint32_t disc_at(std::size_t flat) const noexcept;
 
   const Graph* graph_;
   DiscriminatorKind kind_;
@@ -138,6 +201,23 @@ class RoutingDb {
   std::vector<NodeId> dirty_dests_;    ///< columns differing from pristine
   std::vector<std::uint8_t> dest_flag_;  ///< rebuild scratch: affected marks
   std::vector<NodeId> affected_dests_;   ///< rebuild scratch: affected list
+
+  // Pristine-tree children in CSR form, all destinations sharing one payload:
+  // dest's slice starts at child_offsets_ + dest * (n + 1), holding n + 1
+  // absolute offsets into child_ids_.  repair_tree's O(region) orphan
+  // discovery descends this.
+  std::vector<std::uint32_t> child_offsets_;  ///< n * (n + 1) absolute offsets
+  std::vector<NodeId> child_ids_;             ///< one entry per tree edge
+  // Argmax node of each pristine column's discriminator: rebuilds only rescan
+  // a column when its pristine argmax row was itself orphaned.
+  std::vector<NodeId> pristine_col_argmax_;
+
+  // Sparse-restore bookkeeping written by the batched drive: per dirty
+  // destination, the rows the repair changed (slice c of changed_nodes_ is
+  // changed_offsets_[c] .. changed_offsets_[c + 1]).  Empty changed_offsets_
+  // marks "dense" -- the legacy drive ran, restore whole columns.
+  std::vector<std::size_t> changed_offsets_;
+  std::vector<NodeId> changed_nodes_;
 };
 
 }  // namespace pr::route

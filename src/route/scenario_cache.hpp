@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/spf_workspace.hpp"
+#include "route/lfa.hpp"
 #include "route/routing_db.hpp"
 
 namespace pr::route {
@@ -40,6 +41,17 @@ class ScenarioRoutingCache {
       const graph::Graph& g, const graph::EdgeSet& failures,
       DiscriminatorKind kind = DiscriminatorKind::kHops);
 
+  /// Per-scenario LFA alternates, equal (bit for bit) to constructing
+  /// LfaRouting(RoutingDb(g, &failures, dkind), kind) fresh -- but produced
+  /// incrementally: the tables come from tables() above and the alternate
+  /// array is kept per LfaKind across calls, re-deriving only the pairs whose
+  /// table columns the scenario (or the previous one) touched.  Same
+  /// borrowing rules as tables(); the reference is additionally invalidated
+  /// by any later tables()/lfa() call with a different failure set or kind.
+  [[nodiscard]] LfaRouting& lfa(const graph::Graph& g,
+                                const graph::EdgeSet& failures, LfaKind kind,
+                                DiscriminatorKind dkind = DiscriminatorKind::kHops);
+
   /// Instrumentation for benches and tests.
   [[nodiscard]] std::uint64_t pristine_builds() const noexcept {
     return pristine_builds_;
@@ -63,6 +75,16 @@ class ScenarioRoutingCache {
   std::uint64_t pristine_builds_ = 0;
   std::uint64_t rebuilds_ = 0;
   std::uint64_t hits_ = 0;
+
+  /// Per-LfaKind persistent alternate state, lazily built over db_ and
+  /// resynced to whatever scenario the db was rebuilt to since the slot's
+  /// last sync (tracked via the build / rebuild counters above).
+  struct LfaSlot {
+    std::unique_ptr<LfaRouting> lfa;
+    std::uint64_t synced_build = 0;    ///< pristine_builds_ at last sync
+    std::uint64_t synced_rebuild = 0;  ///< rebuilds_ at last sync
+  };
+  LfaSlot lfa_slots_[2];
 };
 
 }  // namespace pr::route

@@ -1,0 +1,131 @@
+// Hierarchical ISP generator invariants: tier layout and labels, per-tier
+// degree structure, 2-edge-connectivity (the paper's precondition), and
+// bit-identical output for a fixed seed.
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/rng.hpp"
+
+namespace pr::graph {
+namespace {
+
+IspTopology make(std::uint64_t seed, const IspParams& params = {}) {
+  Rng rng(seed);
+  return hierarchical_isp(params, rng);
+}
+
+TEST(HierarchicalIsp, TierLayoutCountsAndLabels) {
+  const IspParams params;
+  const IspTopology t = make(0xA11CE, params);
+  const Graph& g = t.graph;
+
+  EXPECT_EQ(t.core_count, params.core);
+  EXPECT_EQ(t.aggregation_count, params.core * params.aggs_per_core);
+  EXPECT_EQ(t.edge_router_count, t.aggregation_count * params.edges_per_agg);
+  EXPECT_EQ(g.node_count(),
+            t.core_count + t.aggregation_count + t.edge_router_count);
+
+  // Tier-contiguous ids with "c<i>" / "a<i>" / "e<i>" labels.
+  EXPECT_EQ(g.node_label(0), "c0");
+  EXPECT_EQ(g.node_label(static_cast<NodeId>(t.core_count)), "a0");
+  EXPECT_EQ(g.node_label(static_cast<NodeId>(t.core_count + t.aggregation_count)),
+            "e0");
+}
+
+TEST(HierarchicalIsp, TierDegreeInvariants) {
+  const IspParams params;
+  const IspTopology t = make(0xBEEF, params);
+  const Graph& g = t.graph;
+  const auto degree = [&g](NodeId v) { return g.out_darts(v).size(); };
+
+  const NodeId agg_base = static_cast<NodeId>(t.core_count);
+  const NodeId edge_base = static_cast<NodeId>(t.core_count + t.aggregation_count);
+
+  // Edge routers are exactly dual-homed: no lateral links touch this tier.
+  for (NodeId v = edge_base; v < g.node_count(); ++v) EXPECT_EQ(degree(v), 2U);
+
+  // Aggregations carry their two uplinks plus their edge fan-in (lateral
+  // peerings only add).
+  for (NodeId v = agg_base; v < edge_base; ++v) {
+    EXPECT_GE(degree(v), 2U + 0U);
+  }
+
+  // Core: ring degree plus homed aggregations; the preferential chords give
+  // an uneven backbone (some core carries more than the minimum).
+  std::size_t core_degree_total = 0;
+  std::size_t core_degree_max = 0;
+  for (NodeId v = 0; v < agg_base; ++v) {
+    EXPECT_GE(degree(v), 2U);  // ring membership at minimum
+    core_degree_total += degree(v);
+    core_degree_max = std::max(core_degree_max, degree(v));
+  }
+  // Each core homes aggs_per_core aggregations and backs up as many again.
+  EXPECT_GE(core_degree_total, t.core_count * (2 + 2 * params.aggs_per_core));
+  EXPECT_GT(core_degree_max * t.core_count, core_degree_total)
+      << "preferential chords should skew the backbone degree distribution";
+}
+
+TEST(HierarchicalIsp, TwoEdgeConnectedAcrossSeedsAndSizes) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 0xF00ULL}) {
+    const IspTopology small = make(seed);
+    EXPECT_TRUE(is_two_edge_connected(small.graph)) << "seed " << seed;
+  }
+  // A backbone-bench-sized instance stays 2-edge-connected too.
+  Rng rng(7);
+  const IspTopology mid = hierarchical_isp(sized_isp_params(256), rng);
+  EXPECT_GE(mid.graph.node_count(), 200U);
+  EXPECT_TRUE(is_two_edge_connected(mid.graph));
+}
+
+TEST(HierarchicalIsp, DeterministicForFixedSeed) {
+  const IspTopology a = make(0x5EED);
+  const IspTopology b = make(0x5EED);
+  ASSERT_EQ(a.graph.node_count(), b.graph.node_count());
+  ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  for (EdgeId e = 0; e < a.graph.edge_count(); ++e) {
+    EXPECT_EQ(a.graph.edge_u(e), b.graph.edge_u(e));
+    EXPECT_EQ(a.graph.edge_v(e), b.graph.edge_v(e));
+    EXPECT_EQ(a.graph.edge_weight(e), b.graph.edge_weight(e));
+  }
+  // ... and a different seed rewires at least something.
+  const IspTopology c = make(0x5EED + 1);
+  bool differs = c.graph.edge_count() != a.graph.edge_count();
+  for (EdgeId e = 0; !differs && e < a.graph.edge_count(); ++e) {
+    differs = a.graph.edge_u(e) != c.graph.edge_u(e) ||
+              a.graph.edge_v(e) != c.graph.edge_v(e);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(HierarchicalIsp, SizedParamsLandNearTarget) {
+  for (const std::size_t target : {256U, 1024U, 4096U}) {
+    const IspParams p = sized_isp_params(target);
+    Rng rng(9);
+    const IspTopology t = hierarchical_isp(p, rng);
+    const double ratio = static_cast<double>(t.graph.node_count()) /
+                         static_cast<double>(target);
+    EXPECT_GT(ratio, 0.8) << target;
+    EXPECT_LT(ratio, 1.25) << target;
+  }
+}
+
+TEST(HierarchicalIsp, RejectsDegenerateParams) {
+  Rng rng(1);
+  IspParams bad;
+  bad.core = 2;
+  EXPECT_THROW((void)hierarchical_isp(bad, rng), std::invalid_argument);
+  IspParams no_aggs;
+  no_aggs.aggs_per_core = 0;
+  EXPECT_THROW((void)hierarchical_isp(no_aggs, rng), std::invalid_argument);
+  IspParams bad_prob;
+  bad_prob.agg_cross_link_prob = 1.5;
+  EXPECT_THROW((void)hierarchical_isp(bad_prob, rng), std::invalid_argument);
+  EXPECT_THROW((void)sized_isp_params(10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pr::graph
