@@ -1,13 +1,13 @@
-// Ablation A5: correlated failures -- node outages and shared-risk link
-// groups (SRLGs).
+// Ablation A5: correlated failures -- node outages.
 //
 // The paper's title promises protection against "link or node failures" and
 // its guarantee is phrased over arbitrary failure *combinations*; real
-// combinations are correlated (a router reboot takes all its links, a conduit
-// cut takes every fibre inside).  This bench exercises both models:
-//   * every single node failure on each topology,
-//   * randomly generated SRLGs (anchored link bundles) on GEANT,
-// reporting coverage and the stretch paid by the saved packets.
+// combinations are correlated (a router reboot takes all its links).  This
+// bench sweeps every single node failure on each topology, reporting coverage
+// and the stretch paid by the saved packets.  The SRLG (shared-risk link
+// group) section that used to live here moved to bench_failure_storms, where
+// the same random-conduit catalog now serves as the exhaustive small-scale
+// oracle that sampled storm estimates must converge to.
 #include <iomanip>
 #include <iostream>
 
@@ -48,30 +48,5 @@ int main(int argc, char** argv) {
               << "\n\n";
   }
 
-  std::cout << "-- SRLG bundles on GEANT: 25 random conduit groups (<=4 links) --\n\n";
-  {
-    const auto g = topo::geant();
-    const analysis::ProtocolSuite suite(g);
-    graph::Rng rng(0xA5);
-    const auto catalog = net::random_srlgs(g, 25, 4, rng);
-    const auto risky = catalog.disconnecting_groups();
-    std::cout << "groups that would partition the network: " << risky.size() << "/"
-              << catalog.group_count() << "\n";
-
-    std::vector<graph::EdgeSet> scenarios;
-    for (std::size_t i = 0; i < catalog.group_count(); ++i) {
-      scenarios.push_back(catalog.scenario(i));
-    }
-    const auto coverage = analysis::run_coverage_experiment(
-        g, scenarios, {suite.pr(), suite.pr_single_bit(), suite.lfa(), suite.spf()},
-        executor);
-    std::cout << analysis::format_coverage_report(coverage);
-
-    const auto stretch =
-        analysis::run_stretch_experiment(g, scenarios, {suite.pr()}, executor);
-    std::cout << "PR stretch over saved packets: "
-              << analysis::to_string(analysis::summarize(stretch.protocols[0].stretches))
-              << "\n";
-  }
   return 0;
 }

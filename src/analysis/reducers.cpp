@@ -1,0 +1,102 @@
+#include "analysis/reducers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pr::analysis {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::invalid_argument("P2Quantile: quantile must be in (0, 1)");
+  }
+}
+
+void P2Quantile::add(double x) {
+  if (!std::isfinite(x)) {
+    throw std::invalid_argument("P2Quantile::add: sample must be finite");
+  }
+
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i) positions_[i] = static_cast<double>(i + 1);
+      desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+      desired_delta_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+    }
+    return;
+  }
+
+  // Locate the marker cell and update the extreme markers.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && !(heights_[k] <= x && x < heights_[k + 1])) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += desired_delta_[i];
+
+  // Nudge the three interior markers towards their desired positions, with
+  // the piecewise-parabolic (P^2) height prediction and a linear fallback
+  // when the parabola would break marker monotonicity.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double ahead = positions_[i + 1] - positions_[i];
+    const double behind = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && ahead > 1.0) || (d <= -1.0 && behind < -1.0)) {
+      const double step = d >= 1.0 ? 1.0 : -1.0;
+      const double span = positions_[i + 1] - positions_[i - 1];
+      const double parabolic =
+          heights_[i] +
+          step / span *
+              ((positions_[i] - positions_[i - 1] + step) *
+                   (heights_[i + 1] - heights_[i]) / ahead +
+               (positions_[i + 1] - positions_[i] - step) *
+                   (heights_[i] - heights_[i - 1]) / (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const std::size_t j = step > 0 ? i + 1 : i - 1;
+        heights_[i] += step * (heights_[j] - heights_[i]) / (positions_[j] - positions_[i]);
+      }
+      positions_[i] += step;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ <= 5) {
+    // Exact nearest-rank over the raw sample buffer: sorted[ceil(q n) - 1].
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const double rank = std::ceil(q_ * static_cast<double>(count_));
+    std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    if (idx >= count_) idx = count_ - 1;
+    return sorted[idx];
+  }
+  return heights_[2];
+}
+
+P2QuantileSet::P2QuantileSet(std::vector<double> quantiles) {
+  estimators_.reserve(quantiles.size());
+  for (const double q : quantiles) estimators_.emplace_back(q);
+}
+
+std::vector<double> P2QuantileSet::estimates() const {
+  std::vector<double> out;
+  out.reserve(estimators_.size());
+  for (const auto& e : estimators_) out.push_back(e.estimate());
+  return out;
+}
+
+}  // namespace pr::analysis

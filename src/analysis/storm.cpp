@@ -1,0 +1,390 @@
+#include "analysis/storm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/traffic.hpp"
+#include "graph/connectivity.hpp"
+#include "traffic/congestion.hpp"
+
+namespace pr::analysis {
+
+namespace {
+
+/// One (scenario, protocol) cell of a storm sweep: the congestion metrics row
+/// plus the storm-specific extras (worst stretch, re-routed flow count).
+struct CellOutcome {
+  traffic::CongestionMetrics metrics;
+  double max_stretch = 1.0;
+  std::size_t rerouted = 0;
+};
+
+/// The incremental cell core, SRLG-grained: probe the per-group incidence for
+/// the flows this scenario's groups touch (the same set a per-edge probe of
+/// the failure union finds), re-route only those with full traces, then
+/// replay every flow in canonical flow order -- cached pristine rows for the
+/// untouched majority, fresh paths for the rest.  Identical floating-point
+/// sequence to analysis/traffic.hpp's incremental cell, with one extra
+/// output: the worst path-cost stretch among delivered affected flows.
+CellOutcome evaluate_storm_cell(
+    const graph::Graph& g, const net::Network& network,
+    std::span<const std::uint32_t> component, const NamedFactory& factory,
+    route::ScenarioRoutingCache& cache, const traffic::FlowIncidenceIndex& index,
+    const traffic::GroupIncidence& incidence, std::span<const std::size_t> groups,
+    std::span<const double> pristine_costs, std::span<const sim::FlowSpec> flows,
+    std::span<const double> demands, double offered_pps,
+    const traffic::CapacityPlan& plan, sim::BatchResult& batch,
+    traffic::LoadMap& load, traffic::IncidenceScratch& scratch) {
+  incidence.affected_flows(groups, scratch.affected_mark, scratch.affected);
+
+  batch.clear();
+  if (!scratch.affected.empty()) {
+    scratch.flows.clear();
+    for (const std::uint32_t f : scratch.affected) scratch.flows.push_back(flows[f]);
+    const auto instance = make_protocol(factory, network, cache);
+    sim::route_batch(network, *instance, scratch.flows, sim::TraceMode::kFullTrace,
+                     batch);
+  }
+
+  load.reset(g.dart_count());
+  CellOutcome out;
+  out.rerouted = scratch.affected.size();
+  traffic::CongestionMetrics& m = out.metrics;
+  m.offered_pps = offered_pps;
+  std::size_t a = 0;  // cursor into the re-routed batch
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const double rate = demands[f];
+    bool delivered;
+    if (scratch.affected_mark[f] != 0) {
+      for (const graph::DartId d : batch.darts(a)) load.add(d, rate);
+      delivered = batch[a].delivered();
+      if (delivered && pristine_costs[f] > 0.0) {
+        out.max_stretch = std::max(out.max_stretch, batch[a].cost / pristine_costs[f]);
+      }
+      ++a;
+    } else {
+      for (const graph::DartId d : index.flow_darts(f)) load.add(d, rate);
+      delivered = index.pristine_delivered(f);
+    }
+    if (delivered) {
+      m.delivered_pps += rate;
+    } else if (component[flows[f].source] == component[flows[f].destination]) {
+      m.lost_pps += rate;
+    } else {
+      m.stranded_pps += rate;
+    }
+  }
+  traffic::apply_utilization(m, g, load, plan);
+  return out;
+}
+
+/// Shared pristine-pass products every storm driver needs per protocol: the
+/// flow incidence index, its SRLG-grained group view, and the per-flow
+/// pristine path costs the stretch metric divides by.
+struct ProtocolIndex {
+  traffic::FlowIncidenceIndex flows;
+  traffic::GroupIncidence groups;
+  std::vector<double> pristine_costs;
+};
+
+std::vector<ProtocolIndex> build_storm_indexes(
+    const graph::Graph& g, const net::SrlgCatalog& catalog,
+    const std::vector<NamedFactory>& protocols, std::span<const sim::FlowSpec> flows,
+    std::span<const double> demands, route::ScenarioRoutingCache& cache) {
+  std::vector<ProtocolIndex> indexes(protocols.size());
+  const net::Network pristine(g);
+  sim::BatchResult batch;
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    const auto instance = make_protocol(protocols[i], pristine, cache);
+    indexes[i].flows.build(pristine, *instance, flows, demands);
+    indexes[i].groups.build(indexes[i].flows, catalog);
+    sim::route_batch(pristine, *instance, flows, sim::TraceMode::kStats, batch);
+    indexes[i].pristine_costs.resize(flows.size());
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      indexes[i].pristine_costs[f] = batch[f].cost;
+    }
+  }
+  return indexes;
+}
+
+void validate_quantiles(const std::vector<double>& quantiles) {
+  if (quantiles.empty()) {
+    throw std::invalid_argument("storm sweep: at least one quantile required");
+  }
+  for (const double q : quantiles) {
+    if (!(q > 0.0 && q < 1.0)) {
+      throw std::invalid_argument("storm sweep: quantiles must lie in (0, 1)");
+    }
+  }
+}
+
+void validate_inputs(const graph::Graph& g, const traffic::TrafficMatrix& demand,
+                     const traffic::CapacityPlan& plan, const net::StormModel& model,
+                     const std::vector<NamedFactory>& protocols) {
+  if (protocols.empty()) {
+    throw std::invalid_argument("storm sweep: no protocols given");
+  }
+  if (demand.node_count() != g.node_count()) {
+    throw std::invalid_argument("storm sweep: demand matrix does not cover the graph");
+  }
+  if (plan.edge_count() != g.edge_count()) {
+    throw std::invalid_argument("storm sweep: capacity plan does not cover the graph");
+  }
+  if (&model.catalog().graph() != &g) {
+    throw std::invalid_argument("storm sweep: storm model is over a different graph");
+  }
+}
+
+/// Exact quantile of a probability-weighted sample set: the smallest value
+/// whose cumulative probability reaches q (values sorted ascending).
+double weighted_quantile(std::vector<std::pair<double, double>>& samples, double q,
+                         double total) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  double cumulative = 0.0;
+  for (const auto& [value, probability] : samples) {
+    cumulative += probability;
+    if (cumulative >= q * total) return value;
+  }
+  return samples.back().first;
+}
+
+}  // namespace
+
+StormExperimentResult run_storm_experiment(
+    const graph::Graph& g, const traffic::TrafficMatrix& demand,
+    const traffic::CapacityPlan& plan, const net::StormModel& model,
+    const std::vector<NamedFactory>& protocols, const StormSweepConfig& config,
+    sim::SweepExecutor& executor) {
+  validate_inputs(g, demand, plan, model, protocols);
+  validate_quantiles(config.quantiles);
+  if (config.scenarios == 0) {
+    throw std::invalid_argument("run_storm_experiment: scenarios must be > 0");
+  }
+
+  std::vector<sim::FlowSpec> flows;
+  std::vector<double> demands;
+  collect_demand_flows(demand, flows, demands);
+  double offered = 0.0;
+  for (const double d : demands) offered += d;
+
+  // Pristine-pass products, built once and shared read-only by all workers.
+  route::ScenarioRoutingCache pristine_cache;
+  const std::vector<ProtocolIndex> indexes =
+      build_storm_indexes(g, model.catalog(), protocols, flows, demands, pristine_cache);
+
+  // Calm scenarios (no failed group) are the common case under realistic
+  // outage probabilities; their cell is the pristine cell, computed once here
+  // with the same code path a live evaluation would take.
+  const auto pristine_component = graph::connected_components(g);
+  std::vector<CellOutcome> pristine_cells(protocols.size());
+  {
+    const net::Network pristine(g);
+    sim::BatchResult batch;
+    traffic::LoadMap load;
+    traffic::IncidenceScratch scratch;
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      pristine_cells[i] = evaluate_storm_cell(
+          g, pristine, pristine_component, protocols[i], pristine_cache,
+          indexes[i].flows, indexes[i].groups, {}, indexes[i].pristine_costs, flows,
+          demands, offered, plan, batch, load, scratch);
+    }
+  }
+
+  // Flat-memory plumbing: a slot ring of the executor's reorder window, one
+  // storm/component scratch and one overlay network per worker, and the
+  // streaming reducers.  Nothing here grows with config.scenarios.
+  struct WorkerScratch {
+    net::StormSample sample;
+    graph::ComponentScratch components;
+  };
+  struct Slot {
+    std::vector<CellOutcome> cells;  // per protocol
+    std::vector<std::size_t> groups;
+    std::size_t failed_edges = 0;
+    bool calm = false;
+    bool disconnected = false;
+  };
+  const std::size_t window = executor.default_ordered_window();
+  std::vector<Slot> slots(window);
+  std::vector<WorkerScratch> scratches(executor.thread_count());
+  std::vector<net::Network> networks;
+  networks.reserve(executor.thread_count());
+  for (std::size_t w = 0; w < executor.thread_count(); ++w) networks.emplace_back(g);
+
+  StormExperimentResult result;
+  result.scenarios = config.scenarios;
+  result.flows_per_scenario = flows.size();
+  result.offered_pps = offered;
+  result.protocols.resize(protocols.size());
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    result.protocols[i].name = protocols[i].name;
+    result.protocols[i].quantiles = config.quantiles;
+  }
+  std::vector<P2QuantileSet> utilization_q(protocols.size(),
+                                           P2QuantileSet(config.quantiles));
+  std::vector<P2QuantileSet> stretch_q(protocols.size(),
+                                       P2QuantileSet(config.quantiles));
+  std::vector<TopK<StormScenarioRecord>> worst(
+      protocols.size(), TopK<StormScenarioRecord>(config.top_k));
+
+  executor.run_ordered(
+      config.scenarios,
+      [&](std::size_t unit, sim::WorkerContext& ctx) {
+        Slot& slot = slots[unit % window];
+        WorkerScratch& ws = scratches[ctx.worker()];
+        net::Network& network = networks[ctx.worker()];
+
+        model.sample(ctx.rng(), ws.sample);
+        slot.groups.assign(ws.sample.groups.begin(), ws.sample.groups.end());
+        slot.failed_edges = ws.sample.failures.size();
+        slot.calm = ws.sample.groups.empty();
+        slot.disconnected = false;
+        slot.cells.resize(protocols.size());
+        if (slot.calm) {
+          for (std::size_t i = 0; i < protocols.size(); ++i) {
+            slot.cells[i] = pristine_cells[i];
+          }
+          return;
+        }
+
+        for (const graph::EdgeId e : ws.sample.failures.elements()) {
+          network.fail_link(e);
+        }
+        slot.disconnected =
+            graph::connected_components_into(g, &ws.sample.failures, ws.components) > 1;
+        for (std::size_t i = 0; i < protocols.size(); ++i) {
+          slot.cells[i] = evaluate_storm_cell(
+              g, network, ws.components.component, protocols[i], ctx.routes,
+              indexes[i].flows, indexes[i].groups, slot.groups,
+              indexes[i].pristine_costs, flows, demands, offered, plan, ctx.batch,
+              ctx.load, ctx.incidence);
+        }
+        for (const graph::EdgeId e : ws.sample.failures.elements()) {
+          network.restore_link(e);
+        }
+      },
+      [&](std::size_t unit) {
+        const Slot& slot = slots[unit % window];
+        result.failed_groups.add(static_cast<double>(slot.groups.size()));
+        result.failed_edges.add(static_cast<double>(slot.failed_edges));
+        if (slot.calm) ++result.calm_scenarios;
+        if (slot.disconnected) ++result.disconnected_scenarios;
+        for (std::size_t i = 0; i < protocols.size(); ++i) {
+          const CellOutcome& cell = slot.cells[i];
+          const traffic::CongestionMetrics& m = cell.metrics;
+          StormProtocolResult& p = result.protocols[i];
+          p.utilization.add(m.max_utilization);
+          p.stretch.add(cell.max_stretch);
+          utilization_q[i].add(m.max_utilization);
+          stretch_q[i].add(cell.max_stretch);
+          p.delivered_pps += m.delivered_pps;
+          p.lost_pps += m.lost_pps;
+          p.stranded_pps += m.stranded_pps;
+          p.overloaded_links += m.overloaded_links;
+          if (m.overloaded_links > 0) ++p.overloaded_scenarios;
+          if (m.lost_pps > 0.0) ++p.lossy_scenarios;
+          p.rerouted_flows += cell.rerouted;
+          worst[i].add(m.max_utilization, unit,
+                       StormScenarioRecord{m.max_utilization, cell.max_stretch,
+                                           m.lost_pps, m.stranded_pps, slot.groups,
+                                           slot.failed_edges});
+        }
+      },
+      config.seed);
+
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    result.protocols[i].utilization_quantiles = utilization_q[i].estimates();
+    result.protocols[i].stretch_quantiles = stretch_q[i].estimates();
+    result.protocols[i].worst = worst[i].sorted();
+  }
+  return result;
+}
+
+StormOracleResult run_exhaustive_storm(const graph::Graph& g,
+                                       const traffic::TrafficMatrix& demand,
+                                       const traffic::CapacityPlan& plan,
+                                       const net::IndependentOutages& model,
+                                       const std::vector<NamedFactory>& protocols,
+                                       const std::vector<double>& quantiles) {
+  validate_inputs(g, demand, plan, model, protocols);
+  validate_quantiles(quantiles);
+
+  std::vector<sim::FlowSpec> flows;
+  std::vector<double> demands;
+  collect_demand_flows(demand, flows, demands);
+  double offered = 0.0;
+  for (const double d : demands) offered += d;
+
+  route::ScenarioRoutingCache cache;
+  const std::vector<ProtocolIndex> indexes =
+      build_storm_indexes(g, model.catalog(), protocols, flows, demands, cache);
+
+  const std::vector<net::WeightedScenario> enumeration =
+      net::enumerate_outage_scenarios(model);
+
+  StormOracleResult result;
+  result.scenarios = enumeration.size();
+  result.protocols.resize(protocols.size());
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    result.protocols[i].name = protocols[i].name;
+  }
+
+  // Weighted per-scenario metric samples per protocol, kept for the exact
+  // quantile pass; 2^G entries, which the <= 20 group gate keeps bounded.
+  std::vector<std::vector<std::pair<double, double>>> util_samples(protocols.size());
+  std::vector<std::vector<std::pair<double, double>>> stretch_samples(protocols.size());
+
+  net::Network network(g);
+  graph::EdgeSet failures(g.edge_count());
+  graph::ComponentScratch components;
+  sim::BatchResult batch;
+  traffic::LoadMap load;
+  traffic::IncidenceScratch scratch;
+
+  for (const net::WeightedScenario& scenario : enumeration) {
+    result.total_probability += scenario.probability;
+
+    failures.clear();
+    for (const std::size_t gid : scenario.groups) {
+      for (const graph::EdgeId e : model.catalog().members(gid)) failures.insert(e);
+    }
+    for (const graph::EdgeId e : failures.elements()) network.fail_link(e);
+    graph::connected_components_into(g, &failures, components);
+
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      const CellOutcome cell = evaluate_storm_cell(
+          g, network, components.component, protocols[i], cache, indexes[i].flows,
+          indexes[i].groups, scenario.groups, indexes[i].pristine_costs, flows,
+          demands, offered, plan, batch, load, scratch);
+      StormOracleProtocol& p = result.protocols[i];
+      const double w = scenario.probability;
+      p.mean_max_utilization += w * cell.metrics.max_utilization;
+      p.mean_max_stretch += w * cell.max_stretch;
+      p.expected_delivered_pps += w * cell.metrics.delivered_pps;
+      p.expected_lost_pps += w * cell.metrics.lost_pps;
+      p.expected_stranded_pps += w * cell.metrics.stranded_pps;
+      if (cell.metrics.overloaded_links > 0) p.overload_probability += w;
+      if (cell.metrics.lost_pps > 0.0) p.loss_probability += w;
+      util_samples[i].emplace_back(cell.metrics.max_utilization, w);
+      stretch_samples[i].emplace_back(cell.max_stretch, w);
+    }
+    for (const graph::EdgeId e : failures.elements()) network.restore_link(e);
+  }
+
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    StormOracleProtocol& p = result.protocols[i];
+    p.utilization_quantiles.reserve(quantiles.size());
+    p.stretch_quantiles.reserve(quantiles.size());
+    for (const double q : quantiles) {
+      p.utilization_quantiles.push_back(
+          weighted_quantile(util_samples[i], q, result.total_probability));
+      p.stretch_quantiles.push_back(
+          weighted_quantile(stretch_samples[i], q, result.total_probability));
+    }
+  }
+  return result;
+}
+
+}  // namespace pr::analysis

@@ -1,0 +1,158 @@
+// Million-scenario storm sweeps: sampled correlated-failure Monte Carlo with
+// flat-memory streaming reduction.
+//
+// The traffic sweeps in analysis/traffic.hpp keep one metrics row per
+// scenario -- right for hundreds of enumerated failure sets, fatal for the
+// sampled storms a net::StormModel can produce forever.  This driver streams
+// instead: scenarios are drawn on the fly from per-unit split-seed RNG
+// streams, each is priced with the incremental LoadMap core (pristine replay
+// + affected-flow re-route, probed through the SRLG-grained
+// traffic::GroupIncidence), and everything folds into O(1) reducer state --
+// P^2 quantile markers, running sums, a bounded top-K worst-scenario heap --
+// through SweepExecutor::run_ordered, whose canonical-order reduce hook makes
+// every reducer bit-identical at any thread count.  A 10^6-scenario sweep
+// holds one slot ring of executor window size, per-worker scratch, and the
+// reducers; nothing grows with the scenario count.
+//
+// Sampled estimates are validated against run_exhaustive_storm(), which
+// enumerates all 2^G group subsets of an IndependentOutages model with their
+// exact probabilities (net::enumerate_outage_scenarios) and computes exact
+// probability-weighted means and quantiles: sampled values must converge to
+// the oracle's as the scenario count grows (law of large numbers, NOT
+// bit-identity -- bit-identity holds across thread counts of one sampled
+// sweep, convergence across estimators).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/reducers.hpp"
+#include "analysis/stretch.hpp"
+#include "net/storm_model.hpp"
+#include "sim/parallel_sweep.hpp"
+#include "traffic/capacity.hpp"
+#include "traffic/demand.hpp"
+
+namespace pr::analysis {
+
+struct StormSweepConfig {
+  std::size_t scenarios = 0;     ///< sampled scenario count (> 0)
+  std::uint64_t seed = 0;        ///< roots the per-scenario RNG streams
+  std::size_t top_k = 10;        ///< worst-scenario table size per protocol
+  /// Quantiles tracked for the per-scenario max-utilization and max-stretch
+  /// streams; each must lie in (0, 1).
+  std::vector<double> quantiles{0.5, 0.9, 0.99};
+};
+
+/// What made a scenario bad enough for the top-K table.
+struct StormScenarioRecord {
+  double max_utilization = 0.0;
+  double max_stretch = 1.0;  ///< worst delivered affected-flow stretch
+  double lost_pps = 0.0;
+  double stranded_pps = 0.0;
+  std::vector<std::size_t> failed_groups;  ///< ascending
+  std::size_t failed_edges = 0;            ///< size of the group union
+};
+
+/// One protocol's streamed outcome over the whole storm.
+struct StormProtocolResult {
+  std::string name;
+
+  /// Per-scenario max link utilization stream (count == scenarios).
+  RunningSummary utilization;
+  /// Per-scenario worst stretch among delivered affected flows (1.0 for calm
+  /// scenarios and scenarios whose affected flows all dropped).
+  RunningSummary stretch;
+
+  /// config.quantiles and the matching P^2 estimates over the two streams.
+  std::vector<double> quantiles;
+  std::vector<double> utilization_quantiles;
+  std::vector<double> stretch_quantiles;
+
+  /// Volume sums over all scenarios, accumulated in canonical scenario order.
+  double delivered_pps = 0.0;
+  double lost_pps = 0.0;
+  double stranded_pps = 0.0;
+
+  std::size_t overloaded_links = 0;      ///< summed over scenarios
+  std::size_t overloaded_scenarios = 0;  ///< scenarios with >= 1 overload
+  std::size_t lossy_scenarios = 0;       ///< scenarios with lost_pps > 0
+  std::size_t rerouted_flows = 0;        ///< affected flows actually re-routed
+
+  /// Worst scenarios by max utilization (ties: earliest scenario id), key
+  /// descending.  Entry::id is the scenario index, Entry::value the record.
+  std::vector<TopK<StormScenarioRecord>::Entry> worst;
+
+  /// Fraction of offered demand delivered across the sweep.
+  [[nodiscard]] double delivered_fraction(double offered_pps,
+                                          std::size_t scenarios) const {
+    const double total = offered_pps * static_cast<double>(scenarios);
+    return total == 0.0 ? 0.0 : delivered_pps / total;
+  }
+};
+
+struct StormExperimentResult {
+  std::vector<StormProtocolResult> protocols;
+  std::size_t scenarios = 0;
+  std::size_t flows_per_scenario = 0;
+  double offered_pps = 0.0;  ///< per scenario (every scenario offers the matrix)
+
+  /// Scenario-shape streams (protocol-independent): failed-group and
+  /// failed-edge counts per scenario, plus how many scenarios were calm
+  /// (no failed group) or partitioned the graph.
+  RunningSummary failed_groups;
+  RunningSummary failed_edges;
+  std::size_t calm_scenarios = 0;
+  std::size_t disconnected_scenarios = 0;
+};
+
+/// Samples config.scenarios scenarios from `model`, prices each against
+/// `plan` under every protocol, and streams everything into the result's
+/// reducers via run_ordered.  Scenario i is drawn from RNG stream
+/// split_seed(config.seed, i), evaluated incrementally (pristine replay +
+/// GroupIncidence-probed re-route), and reduced in canonical order: the
+/// result is bit-identical for every executor thread count.  Memory is flat
+/// in the scenario count.  Throws std::invalid_argument on empty protocol
+/// lists, zero scenarios, mismatched matrix/plan sizes, or quantiles outside
+/// (0, 1).
+[[nodiscard]] StormExperimentResult run_storm_experiment(
+    const graph::Graph& g, const traffic::TrafficMatrix& demand,
+    const traffic::CapacityPlan& plan, const net::StormModel& model,
+    const std::vector<NamedFactory>& protocols, const StormSweepConfig& config,
+    sim::SweepExecutor& executor);
+
+/// One protocol's exact expectation under an enumerable outage model.
+struct StormOracleProtocol {
+  std::string name;
+  double mean_max_utilization = 0.0;
+  double mean_max_stretch = 0.0;
+  /// Exact probability-weighted quantiles of the two per-scenario metrics
+  /// (smallest value whose cumulative probability reaches q).
+  std::vector<double> utilization_quantiles;
+  std::vector<double> stretch_quantiles;
+  double expected_delivered_pps = 0.0;  ///< per scenario
+  double expected_lost_pps = 0.0;
+  double expected_stranded_pps = 0.0;
+  double overload_probability = 0.0;  ///< P(>= 1 overloaded link)
+  double loss_probability = 0.0;      ///< P(lost_pps > 0)
+};
+
+struct StormOracleResult {
+  std::vector<StormOracleProtocol> protocols;
+  std::size_t scenarios = 0;        ///< 2^G enumerated subsets
+  double total_probability = 0.0;   ///< sums to 1 up to rounding
+};
+
+/// The exhaustive oracle: enumerates every group subset of `model` with its
+/// exact probability and computes exact weighted means, quantiles and
+/// volume expectations per protocol.  Gated to <= 20 groups (the
+/// enumeration's own limit).  Each subset is evaluated by the same cell core
+/// the sampled sweep uses, so sampled estimates converge to these values.
+[[nodiscard]] StormOracleResult run_exhaustive_storm(
+    const graph::Graph& g, const traffic::TrafficMatrix& demand,
+    const traffic::CapacityPlan& plan, const net::IndependentOutages& model,
+    const std::vector<NamedFactory>& protocols,
+    const std::vector<double>& quantiles = {0.5, 0.9, 0.99});
+
+}  // namespace pr::analysis

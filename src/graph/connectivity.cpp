@@ -103,10 +103,13 @@ struct LowLink {
 
 }  // namespace
 
-std::vector<std::uint32_t> connected_components(const Graph& g, const EdgeSet* excluded) {
+std::size_t connected_components_into(const Graph& g, const EdgeSet* excluded,
+                                      ComponentScratch& scratch) {
   const std::size_t n = g.node_count();
-  std::vector<std::uint32_t> comp(n, kUnvisited);
-  std::vector<NodeId> fifo;
+  auto& comp = scratch.component;
+  auto& fifo = scratch.fifo;
+  comp.assign(n, kUnvisited);
+  fifo.clear();
   fifo.reserve(n);
   std::uint32_t next_comp = 0;
   for (NodeId s = 0; s < n; ++s) {
@@ -127,14 +130,19 @@ std::vector<std::uint32_t> connected_components(const Graph& g, const EdgeSet* e
     }
     ++next_comp;
   }
-  return comp;
+  return next_comp;
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g, const EdgeSet* excluded) {
+  ComponentScratch scratch;
+  connected_components_into(g, excluded, scratch);
+  return std::move(scratch.component);
 }
 
 bool is_connected(const Graph& g, const EdgeSet* excluded) {
   if (g.node_count() == 0) return true;
-  const auto comp = connected_components(g, excluded);
-  return std::all_of(comp.begin(), comp.end(),
-                     [](std::uint32_t c) { return c == 0; });
+  ComponentScratch scratch;
+  return connected_components_into(g, excluded, scratch) == 1;
 }
 
 bool same_component(const Graph& g, NodeId a, NodeId b, const EdgeSet* excluded) {

@@ -21,6 +21,19 @@ namespace pr::graph {
 [[nodiscard]] std::vector<std::uint32_t> connected_components(
     const Graph& g, const EdgeSet* excluded = nullptr);
 
+/// Caller-owned scratch for repeated component computations (per-scenario
+/// residual-connectivity checks, SRLG risk reports): reusing one scratch
+/// across calls makes each computation allocation-free once warm.
+struct ComponentScratch {
+  std::vector<std::uint32_t> component;  ///< per-node ids after each call
+  std::vector<NodeId> fifo;              ///< internal BFS queue
+};
+
+/// connected_components() into `scratch.component`; returns the component
+/// count.  Identical ids to the allocating overload.
+std::size_t connected_components_into(const Graph& g, const EdgeSet* excluded,
+                                      ComponentScratch& scratch);
+
 /// True when every node is reachable from every other (vacuously true for the
 /// empty graph).  Edges in `excluded` are treated as absent.
 [[nodiscard]] bool is_connected(const Graph& g, const EdgeSet* excluded = nullptr);

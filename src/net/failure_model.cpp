@@ -169,9 +169,19 @@ void SrlgCatalog::restore_group(Network& net, std::size_t group) const {
 
 std::vector<std::size_t> SrlgCatalog::disconnecting_groups() const {
   std::vector<std::size_t> out;
+  if (graph_->node_count() == 0) return out;
+  // One EdgeSet and one component scratch reused across all groups: catalogs
+  // built by geographic_srlgs() have one group per node, so the per-group
+  // allocations the naive scenario()/is_connected() pair makes dominate on
+  // backbone-sized graphs.
+  graph::EdgeSet failures(graph_->edge_count());
+  graph::ComponentScratch scratch;
   for (std::size_t i = 0; i < groups_.size(); ++i) {
-    const auto failures = scenario(i);
-    if (!graph::is_connected(*graph_, &failures)) out.push_back(i);
+    failures.clear();
+    for (const graph::EdgeId e : groups_[i]) failures.insert(e);
+    if (graph::connected_components_into(*graph_, &failures, scratch) != 1) {
+      out.push_back(i);
+    }
   }
   return out;
 }

@@ -58,6 +58,8 @@ class SrlgCatalog {
   /// `g` must outlive the catalog.
   explicit SrlgCatalog(const Graph& g) : graph_(&g) {}
 
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
   /// Registers a group; members must be valid, duplicates are rejected.
   /// Returns the group id.
   std::size_t add_group(std::vector<graph::EdgeId> members);

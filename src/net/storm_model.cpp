@@ -1,0 +1,182 @@
+#include "net/storm_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace pr::net {
+
+StormModel::StormModel(const SrlgCatalog& catalog) : catalog_(&catalog) {}
+
+void StormModel::sample(graph::Rng& rng, StormSample& out) const {
+  out.groups.clear();
+  sample_groups(rng, out.groups);
+  std::sort(out.groups.begin(), out.groups.end());
+  out.groups.erase(std::unique(out.groups.begin(), out.groups.end()), out.groups.end());
+
+  const std::size_t edge_count = catalog_->graph().edge_count();
+  if (out.failures.capacity() != edge_count) {
+    out.failures = graph::EdgeSet(edge_count);
+  } else {
+    out.failures.clear();
+  }
+  for (const std::size_t g : out.groups) {
+    for (const graph::EdgeId e : catalog_->members(g)) out.failures.insert(e);
+  }
+}
+
+IndependentOutages::IndependentOutages(const SrlgCatalog& catalog,
+                                       std::vector<double> probabilities)
+    : StormModel(catalog), probabilities_(std::move(probabilities)) {
+  if (probabilities_.size() != catalog.group_count()) {
+    throw std::invalid_argument(
+        "IndependentOutages: one probability per catalog group required");
+  }
+  for (const double p : probabilities_) {
+    if (!(p >= 0.0 && p <= 1.0)) {  // also rejects NaN
+      throw std::invalid_argument(
+          "IndependentOutages: probabilities must be in [0, 1]");
+    }
+  }
+}
+
+IndependentOutages IndependentOutages::uniform(const SrlgCatalog& catalog, double p) {
+  return IndependentOutages(catalog, std::vector<double>(catalog.group_count(), p));
+}
+
+void IndependentOutages::sample_groups(graph::Rng& rng,
+                                       std::vector<std::size_t>& groups) const {
+  // One Bernoulli draw per group, in group order: the variate count is fixed,
+  // so the stream is identical whatever the outcome pattern.
+  for (std::size_t g = 0; g < probabilities_.size(); ++g) {
+    if (rng.chance(probabilities_[g])) groups.push_back(g);
+  }
+}
+
+std::string IndependentOutages::describe() const {
+  double min_p = 1.0;
+  double max_p = 0.0;
+  for (const double p : probabilities_) {
+    min_p = std::min(min_p, p);
+    max_p = std::max(max_p, p);
+  }
+  if (probabilities_.empty()) min_p = max_p = 0.0;
+  std::ostringstream os;
+  os << "independent-outages over " << catalog().group_count() << " groups, p in ["
+     << min_p << ", " << max_p << "]";
+  return os.str();
+}
+
+GeographicCut::GeographicCut(const SrlgCatalog& catalog) : StormModel(catalog) {
+  if (catalog.group_count() == 0) {
+    throw std::invalid_argument("GeographicCut: catalog has no groups");
+  }
+}
+
+void GeographicCut::sample_groups(graph::Rng& rng,
+                                  std::vector<std::size_t>& groups) const {
+  groups.push_back(rng.below(catalog().group_count()));
+}
+
+std::string GeographicCut::describe() const {
+  return "geographic-cut: 1 of " + std::to_string(catalog().group_count()) +
+         " anchored bundles per scenario";
+}
+
+CompoundStorm::CompoundStorm(const SrlgCatalog& catalog, std::size_t k)
+    : StormModel(catalog), k_(k) {
+  if (k == 0 || k > catalog.group_count()) {
+    throw std::invalid_argument(
+        "CompoundStorm: k must be in [1, group_count()], got " + std::to_string(k));
+  }
+}
+
+void CompoundStorm::sample_groups(graph::Rng& rng,
+                                  std::vector<std::size_t>& groups) const {
+  // Rejection draw of k distinct groups; k is small, so the linear membership
+  // scan beats per-scenario set allocations.
+  while (groups.size() < k_) {
+    const std::size_t g = rng.below(catalog().group_count());
+    if (std::find(groups.begin(), groups.end(), g) == groups.end()) {
+      groups.push_back(g);
+    }
+  }
+}
+
+std::string CompoundStorm::describe() const {
+  return "compound-storm: " + std::to_string(k_) + " distinct groups of " +
+         std::to_string(catalog().group_count()) + " per scenario";
+}
+
+SrlgCatalog geographic_srlgs(const Graph& g, std::size_t radius) {
+  if (radius == 0) throw std::invalid_argument("geographic_srlgs: radius must be > 0");
+  if (g.edge_count() == 0) throw std::invalid_argument("geographic_srlgs: empty graph");
+
+  SrlgCatalog catalog(g);
+  std::vector<std::uint32_t> hops(g.node_count());
+  std::vector<NodeId> frontier;
+  std::vector<std::uint8_t> taken(g.edge_count());
+  constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+  for (NodeId anchor = 0; anchor < g.node_count(); ++anchor) {
+    if (g.degree(anchor) == 0) continue;
+
+    // BFS to hop distance radius - 1; every edge incident to a reached node
+    // belongs to the anchor's bundle.
+    std::fill(hops.begin(), hops.end(), kUnreached);
+    std::fill(taken.begin(), taken.end(), 0);
+    frontier.clear();
+    frontier.push_back(anchor);
+    hops[anchor] = 0;
+    std::vector<graph::EdgeId> members;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const NodeId v = frontier[i];
+      for (const graph::DartId d : g.out_darts(v)) {
+        const graph::EdgeId e = graph::dart_edge(d);
+        if (taken[e] == 0) {
+          taken[e] = 1;
+          members.push_back(e);
+        }
+        const NodeId u = g.dart_head(d);
+        if (hops[u] == kUnreached && hops[v] + 1 < radius) {
+          hops[u] = hops[v] + 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+    std::sort(members.begin(), members.end());
+    catalog.add_group(std::move(members));
+  }
+  return catalog;
+}
+
+std::vector<WeightedScenario> enumerate_outage_scenarios(
+    const IndependentOutages& model) {
+  const std::span<const double> probs = model.probabilities();
+  const std::size_t groups = probs.size();
+  if (groups > 20) {
+    throw std::invalid_argument(
+        "enumerate_outage_scenarios: catalog too large to enumerate (" +
+        std::to_string(groups) + " groups > 20)");
+  }
+  std::vector<WeightedScenario> out;
+  out.reserve(std::size_t{1} << groups);
+  for (std::uint32_t mask = 0; mask < (std::uint32_t{1} << groups); ++mask) {
+    WeightedScenario ws;
+    ws.probability = 1.0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      if (mask & (std::uint32_t{1} << g)) {
+        ws.groups.push_back(g);
+        ws.probability *= probs[g];
+      } else {
+        ws.probability *= 1.0 - probs[g];
+      }
+    }
+    out.push_back(std::move(ws));
+  }
+  return out;
+}
+
+}  // namespace pr::net

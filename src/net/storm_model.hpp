@@ -1,0 +1,148 @@
+// Sampled failure-scenario generators over shared-risk link groups: the
+// storm models behind million-scenario Monte-Carlo sweeps.
+//
+// Exhaustive k-link enumeration explodes combinatorially, yet the paper's
+// guarantee is phrased over arbitrary failure *combinations* -- and the
+// combinations operators actually fear are correlated: a conduit cut takes
+// every fibre inside, a storm front takes every bundle around a site, a
+// maintenance window doubles an independent outage elsewhere.  A StormModel
+// turns an SrlgCatalog into a scenario distribution that can be sampled
+// forever in O(1) memory:
+//   * IndependentOutages -- every group fails independently with its own
+//                           outage probability (line cards, conduits with
+//                           known MTBF);
+//   * GeographicCut      -- one anchored edge bundle fails at a time, drawn
+//                           uniformly (backhoe fades a random site); pair it
+//                           with geographic_srlgs(), which builds one bundle
+//                           of all links within a hop radius per anchor node;
+//   * CompoundStorm      -- exactly k distinct groups fail together (the
+//                           correlated multi-failure regime of eMRC-style
+//                           recovery studies).
+//
+// Determinism: sample() is a pure function of the passed Rng state.  Sweep
+// drivers reseed the worker Rng per scenario index (sim::split_seed), so
+// scenario i draws the same groups at every thread count.  Sampled group
+// lists are emitted sorted ascending; the failure EdgeSet is their member
+// union.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/rng.hpp"
+#include "net/failure_model.hpp"
+
+namespace pr::net {
+
+/// One sampled scenario, phrased both ways the sweep needs it: the failed
+/// group ids (for O(groups) incidence-union probes) and the failed-edge union
+/// (for the Network overlay and residual-connectivity checks).  Reusable
+/// scratch: sample() clears and refills it, keeping capacity.
+struct StormSample {
+  std::vector<std::size_t> groups;  ///< failed groups, ascending, deduped
+  graph::EdgeSet failures;          ///< union of the groups' member edges
+};
+
+class StormModel {
+ public:
+  /// `catalog` (and its graph) must outlive the model.
+  explicit StormModel(const SrlgCatalog& catalog);
+  virtual ~StormModel() = default;
+
+  [[nodiscard]] const SrlgCatalog& catalog() const noexcept { return *catalog_; }
+
+  /// Draws one scenario into `out` (cleared first, capacity kept).  The
+  /// group list is sorted ascending and deduped; `out.failures` is resized
+  /// to the catalog graph's edge count on first use.
+  void sample(graph::Rng& rng, StormSample& out) const;
+
+  /// One-line description for bench preambles and reports.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+ protected:
+  /// Fills `groups` with the failed group ids (any order, duplicates
+  /// allowed -- sample() canonicalises).  Must draw a number of rng variates
+  /// that depends only on the draw outcomes, never on external state.
+  virtual void sample_groups(graph::Rng& rng, std::vector<std::size_t>& groups) const = 0;
+
+ private:
+  const SrlgCatalog* catalog_;
+};
+
+/// Every group fails independently with its own probability per scenario.
+/// With small probabilities most scenarios are calm (no failed group) --
+/// exactly the long-tail regime where streaming reducers earn their keep.
+class IndependentOutages final : public StormModel {
+ public:
+  /// One probability in [0, 1] per catalog group (throws otherwise).
+  IndependentOutages(const SrlgCatalog& catalog, std::vector<double> probabilities);
+
+  /// Uniform shorthand: every group fails with probability `p`.
+  [[nodiscard]] static IndependentOutages uniform(const SrlgCatalog& catalog, double p);
+
+  [[nodiscard]] std::span<const double> probabilities() const noexcept {
+    return probabilities_;
+  }
+
+  [[nodiscard]] std::string describe() const override;
+
+ protected:
+  void sample_groups(graph::Rng& rng, std::vector<std::size_t>& groups) const override;
+
+ private:
+  std::vector<double> probabilities_;
+};
+
+/// Exactly one catalog group per scenario, drawn uniformly.  Meant for
+/// geographically built catalogs (geographic_srlgs below): each draw is one
+/// conduit cut around a random anchor site.
+class GeographicCut final : public StormModel {
+ public:
+  explicit GeographicCut(const SrlgCatalog& catalog);
+
+  [[nodiscard]] std::string describe() const override;
+
+ protected:
+  void sample_groups(graph::Rng& rng, std::vector<std::size_t>& groups) const override;
+};
+
+/// Exactly `k` distinct groups fail together per scenario, drawn uniformly
+/// without replacement: the compound-storm / correlated multi-failure regime.
+/// Throws std::invalid_argument when k == 0 or k > group_count().
+class CompoundStorm final : public StormModel {
+ public:
+  CompoundStorm(const SrlgCatalog& catalog, std::size_t k);
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::string describe() const override;
+
+ protected:
+  void sample_groups(graph::Rng& rng, std::vector<std::size_t>& groups) const override;
+
+ private:
+  std::size_t k_;
+};
+
+/// Geographic SRLG builder: one group per anchor node containing every edge
+/// with an endpoint within `radius - 1` hops of the anchor (radius 1 = the
+/// anchor's incident links, i.e. a node outage; radius 2 adds the whole
+/// neighbourhood's links -- a site-wide conduit cut).  Anchors whose bundle
+/// would be empty (isolated nodes) are skipped.  Deterministic; no rng.
+[[nodiscard]] SrlgCatalog geographic_srlgs(const Graph& g, std::size_t radius);
+
+/// One subset of an enumerable catalog with its exact probability under an
+/// IndependentOutages model.
+struct WeightedScenario {
+  std::vector<std::size_t> groups;  ///< ascending
+  double probability = 0.0;
+};
+
+/// All 2^G group subsets with their exact probabilities, in bitmask order
+/// (group 0 = lowest bit).  The exhaustive oracle sampled storm estimates
+/// must converge to; gated to G <= 20 groups (std::invalid_argument above).
+[[nodiscard]] std::vector<WeightedScenario> enumerate_outage_scenarios(
+    const IndependentOutages& model);
+
+}  // namespace pr::net

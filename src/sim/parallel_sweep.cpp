@@ -1,5 +1,6 @@
 #include "sim/parallel_sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
@@ -64,7 +65,25 @@ struct SweepExecutor::Impl {
   bool job_active = false;  // run() admits one caller at a time
   bool stopping = false;
 
+  // Ordered-reduction state (run_ordered only), guarded by `mutex`.
+  const ReduceFn* reduce = nullptr;
+  std::size_t window = 0;
+  std::size_t watermark = 0;        // next unit to reduce, strictly ascending
+  std::vector<std::uint8_t> done;   // completed-not-yet-reduced ring, size `window`
+  std::condition_variable slot_free;
+  bool aborted = false;  // an exception abandoned the job; wake slot waiters
+
   std::atomic<std::size_t> next_unit{0};
+
+  /// Records the first exception and abandons the job: the unit cursor jumps
+  /// past the end so claim loops drain, and slot waiters are woken to bail.
+  /// Caller must hold `mutex`.
+  void abandon_locked() {
+    if (!first_error) first_error = std::current_exception();
+    aborted = true;
+    next_unit.store(unit_count, std::memory_order_relaxed);
+    slot_free.notify_all();
+  }
 
   void worker_main(std::size_t worker_index) {
     WorkerContext ctx;
@@ -80,14 +99,43 @@ struct SweepExecutor::Impl {
       while (true) {
         const std::size_t unit = next_unit.fetch_add(1, std::memory_order_relaxed);
         if (unit >= unit_count) break;
+        if (reduce != nullptr) {
+          // Ordered job: the unit's ring slot must be free, i.e. every unit
+          // `window` or more below must have been reduced.  The holder of the
+          // watermark unit never waits here, so the pipeline always advances.
+          std::unique_lock<std::mutex> lock(mutex);
+          slot_free.wait(lock, [&] { return aborted || unit < watermark + window; });
+          if (aborted) continue;  // drain remaining claims
+        }
         ctx.rng_ = graph::Rng(split_seed(seed, unit));
         try {
           (*fn)(unit, ctx);
         } catch (...) {
           std::lock_guard<std::mutex> lock(mutex);
-          if (!first_error) first_error = std::current_exception();
-          // Abandon the remaining units; workers drain out of the loop.
-          next_unit.store(unit_count, std::memory_order_relaxed);
+          abandon_locked();
+          continue;
+        }
+        if (reduce != nullptr) {
+          std::unique_lock<std::mutex> lock(mutex);
+          if (aborted) continue;
+          done[unit % window] = 1;
+          // Fold every contiguously-completed unit from the watermark up, in
+          // canonical order.  Serialised by `mutex`, so reduce() never runs
+          // concurrently with itself and the sequence is 0, 1, 2, ... for
+          // every thread count.
+          bool advanced = false;
+          while (watermark < unit_count && done[watermark % window] != 0) {
+            done[watermark % window] = 0;
+            try {
+              (*reduce)(watermark);
+            } catch (...) {
+              abandon_locked();
+              break;
+            }
+            ++watermark;
+            advanced = true;
+          }
+          if (advanced) slot_free.notify_all();
         }
       }
       {
@@ -142,6 +190,23 @@ std::size_t SweepExecutor::thread_count() const noexcept {
 }
 
 void SweepExecutor::run(std::size_t unit_count, const UnitFn& fn, std::uint64_t seed) {
+  run_job(unit_count, fn, nullptr, seed, 0);
+}
+
+std::size_t SweepExecutor::default_ordered_window() const noexcept {
+  return std::max<std::size_t>(4 * impl_->workers.size(), 16);
+}
+
+void SweepExecutor::run_ordered(std::size_t unit_count, const UnitFn& fn,
+                                const ReduceFn& reduce, std::uint64_t seed,
+                                std::size_t window) {
+  if (window == 0) window = default_ordered_window();
+  run_job(unit_count, fn, &reduce, seed, window);
+}
+
+void SweepExecutor::run_job(std::size_t unit_count, const UnitFn& fn,
+                            const ReduceFn* reduce, std::uint64_t seed,
+                            std::size_t window) {
   if (unit_count == 0) return;
   std::unique_lock<std::mutex> lock(impl_->mutex);
   if (impl_->job_active) {
@@ -153,6 +218,11 @@ void SweepExecutor::run(std::size_t unit_count, const UnitFn& fn, std::uint64_t 
   impl_->fn = &fn;
   impl_->unit_count = unit_count;
   impl_->seed = seed;
+  impl_->reduce = reduce;
+  impl_->window = window;
+  impl_->watermark = 0;
+  impl_->done.assign(window, 0);
+  impl_->aborted = false;
   impl_->next_unit.store(0, std::memory_order_relaxed);
   impl_->idle_workers = 0;
   impl_->first_error = nullptr;
@@ -160,6 +230,7 @@ void SweepExecutor::run(std::size_t unit_count, const UnitFn& fn, std::uint64_t 
   impl_->work_ready.notify_all();
   impl_->job_done.wait(lock, [&] { return impl_->idle_workers == impl_->workers.size(); });
   impl_->fn = nullptr;
+  impl_->reduce = nullptr;
   impl_->job_active = false;
   if (impl_->first_error) {
     std::exception_ptr error = impl_->first_error;

@@ -104,6 +104,14 @@ class SweepExecutor {
   /// caller's own synchronisation.
   using UnitFn = std::function<void(std::size_t unit, WorkerContext& ctx)>;
 
+  /// Streaming reduction hook for run_ordered(): called exactly once per
+  /// unit, in canonical unit order (0, 1, 2, ...), never concurrently with
+  /// itself or with another reduce call.  It runs on whichever worker thread
+  /// happened to close the gap, under the executor's internal lock: keep it
+  /// light -- fold the unit's slot into reducer state -- and leave the heavy
+  /// work to the unit function.
+  using ReduceFn = std::function<void(std::size_t unit)>;
+
   /// `threads` == 0 selects std::thread::hardware_concurrency() (minimum 1).
   /// Throws std::invalid_argument when threads > kMaxSweepThreads.
   explicit SweepExecutor(std::size_t threads = 0);
@@ -120,7 +128,31 @@ class SweepExecutor {
   /// are abandoned and the first exception is rethrown here.
   void run(std::size_t unit_count, const UnitFn& fn, std::uint64_t seed = 0);
 
+  /// run() plus a canonical-order streaming reduction: after unit u's
+  /// function returns, `reduce(u)` fires once the reductions of every unit
+  /// below u have fired -- so the reduce sequence is 0, 1, 2, ... for every
+  /// thread count, which makes order-sensitive streaming state (P^2 quantile
+  /// markers, top-K heaps, floating-point accumulators) bit-identical to a
+  /// serial sweep without any per-unit result vector.
+  ///
+  /// `window` bounds the in-flight span: unit u is not started before
+  /// reduce(u - window) has returned, so the caller can hand results from
+  /// unit fn to reduce fn through a ring of exactly `window` slots (index
+  /// unit % window) and memory stays flat no matter how many units run.
+  /// window == 0 selects default_ordered_window(); an explicit window may be
+  /// as small as 1 (fully serialised pipeline).
+  void run_ordered(std::size_t unit_count, const UnitFn& fn, const ReduceFn& reduce,
+                   std::uint64_t seed = 0, std::size_t window = 0);
+
+  /// The window run_ordered(..., window = 0) selects: wide enough to keep
+  /// every worker busy across reduction stalls (4 * thread_count(), floor 16).
+  /// Callers sizing slot rings should use this.
+  [[nodiscard]] std::size_t default_ordered_window() const noexcept;
+
  private:
+  void run_job(std::size_t unit_count, const UnitFn& fn, const ReduceFn* reduce,
+               std::uint64_t seed, std::size_t window);
+
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

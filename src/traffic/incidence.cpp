@@ -88,4 +88,57 @@ void FlowIncidenceIndex::affected_flows(const graph::EdgeSet& failures,
   std::sort(out.begin(), out.end());
 }
 
+void GroupIncidence::build(const FlowIncidenceIndex& index,
+                           const net::SrlgCatalog& catalog) {
+  if (!index.built()) {
+    throw std::invalid_argument("GroupIncidence::build: index is not built");
+  }
+  if (catalog.graph().dart_count() != index.dart_count()) {
+    throw std::invalid_argument(
+        "GroupIncidence::build: catalog graph disagrees with index dart count");
+  }
+
+  flow_count_ = index.flow_count();
+  group_offsets_.assign(1, 0);
+  group_offsets_.reserve(catalog.group_count() + 1);
+  group_flows_.clear();
+
+  std::vector<std::uint8_t> mark(flow_count_, 0);
+  std::vector<std::uint32_t> touched;
+  for (std::size_t g = 0; g < catalog.group_count(); ++g) {
+    touched.clear();
+    for (const graph::EdgeId e : catalog.members(g)) {
+      for (const unsigned side : {0U, 1U}) {
+        for (const std::uint32_t f : index.dart_flows(graph::make_dart(e, side))) {
+          if (mark[f] == 0) {
+            mark[f] = 1;
+            touched.push_back(f);
+          }
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    group_flows_.insert(group_flows_.end(), touched.begin(), touched.end());
+    group_offsets_.push_back(group_flows_.size());
+    for (const std::uint32_t f : touched) mark[f] = 0;  // cheap reset for next group
+  }
+  built_ = true;
+}
+
+void GroupIncidence::affected_flows(std::span<const std::size_t> groups,
+                                    std::vector<std::uint8_t>& mark,
+                                    std::vector<std::uint32_t>& out) const {
+  mark.assign(flow_count_, 0);
+  out.clear();
+  for (const std::size_t g : groups) {
+    for (const std::uint32_t f : group_flows(g)) {
+      if (mark[f] == 0) {
+        mark[f] = 1;
+        out.push_back(f);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
 }  // namespace pr::traffic

@@ -32,6 +32,7 @@
 #include <span>
 #include <vector>
 
+#include "net/failure_model.hpp"
 #include "sim/forwarding_engine.hpp"
 #include "traffic/load_map.hpp"
 
@@ -95,6 +96,50 @@ class FlowIncidenceIndex {
   std::vector<std::size_t> dart_offsets_;  ///< dart count + 1 fenceposts
   std::vector<std::uint32_t> dart_flows_;
   LoadMap pristine_load_;
+};
+
+/// Per-risk-group affected-flow unions: the SRLG-grained reverse index the
+/// storm sweeps probe.  A storm scenario arrives as a *group* list, and
+/// probing FlowIncidenceIndex edge by edge costs O(failed edges x incident
+/// flows) -- wasteful when geographic bundles put dozens of edges in one
+/// group.  GroupIncidence precomputes, per catalog group, the sorted union of
+/// flows whose pristine path crosses any member edge, so the per-scenario
+/// probe is O(failed groups + affected flows).
+class GroupIncidence {
+ public:
+  GroupIncidence() = default;
+
+  /// Builds the group->flows CSR from a built `index` over `catalog`'s graph
+  /// (throws std::invalid_argument if `index` is not built or its dart count
+  /// disagrees with the catalog's graph).  Rebuilding reuses storage.
+  void build(const FlowIncidenceIndex& index, const net::SrlgCatalog& catalog);
+
+  [[nodiscard]] bool built() const noexcept { return built_; }
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return group_offsets_.empty() ? 0 : group_offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t flow_count() const noexcept { return flow_count_; }
+
+  /// Flows whose pristine path crosses any member edge of `group`, sorted
+  /// ascending, deduped.
+  [[nodiscard]] std::span<const std::uint32_t> group_flows(std::size_t group) const {
+    return {group_flows_.data() + group_offsets_.at(group),
+            group_offsets_.at(group + 1) - group_offsets_.at(group)};
+  }
+
+  /// Union over `groups`, same contract as FlowIncidenceIndex::affected_flows:
+  /// `out` sorted ascending and deduped, `mark` resized to flow_count() with
+  /// mark[f] != 0 exactly for collected flows.
+  void affected_flows(std::span<const std::size_t> groups,
+                      std::vector<std::uint8_t>& mark,
+                      std::vector<std::uint32_t>& out) const;
+
+ private:
+  bool built_ = false;
+  std::size_t flow_count_ = 0;
+  // Per-group incidence, CSR over flow ids (sorted, deduped per group).
+  std::vector<std::size_t> group_offsets_;  ///< group_count()+1 fenceposts
+  std::vector<std::uint32_t> group_flows_;
 };
 
 /// Per-worker scratch for incremental sweep cells (affected-flow marks and

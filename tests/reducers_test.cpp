@@ -1,0 +1,216 @@
+// Tests for the streaming sweep reducers: the P^2 quantile estimator against
+// an exact sorted-sample oracle (tiny-n exactness, duplicate-heavy and
+// random streams), the bounded top-K heap's deterministic replacement and
+// merge rules, and the running summary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/reducers.hpp"
+
+namespace pr {
+namespace {
+
+using analysis::P2Quantile;
+using analysis::P2QuantileSet;
+using analysis::RunningSummary;
+using analysis::TopK;
+
+/// Exact nearest-rank quantile: sorted[ceil(q n) - 1].
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[std::max<std::size_t>(rank, 1) - 1];
+}
+
+// ---------------------------------------------------------------------------
+// P2Quantile
+
+TEST(P2Quantile, RejectsInvalidQuantilesAndSamples) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+
+  P2Quantile p(0.5);
+  EXPECT_THROW(p.add(std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
+  EXPECT_THROW(p.add(std::numeric_limits<double>::infinity()), std::invalid_argument);
+  EXPECT_EQ(p.count(), 0u);
+}
+
+TEST(P2Quantile, EmptyEstimateIsZero) {
+  EXPECT_EQ(P2Quantile(0.9).estimate(), 0.0);
+}
+
+TEST(P2Quantile, TinyStreamsMatchSortedOracleExactly) {
+  // With five or fewer samples the estimator must BE the nearest-rank
+  // quantile, bit for bit, for every prefix and several quantiles.
+  const std::vector<double> stream{7.5, -2.0, 7.5, 0.25, 3.0};
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    P2Quantile estimator(q);
+    std::vector<double> seen;
+    for (const double x : stream) {
+      estimator.add(x);
+      seen.push_back(x);
+      EXPECT_EQ(estimator.estimate(), exact_quantile(seen, q))
+          << "q=" << q << " n=" << seen.size();
+    }
+  }
+}
+
+TEST(P2Quantile, ConstantStreamIsExactAtAnyLength) {
+  P2Quantile estimator(0.9);
+  for (int i = 0; i < 1000; ++i) estimator.add(4.25);
+  EXPECT_EQ(estimator.estimate(), 4.25);
+  EXPECT_EQ(estimator.count(), 1000u);
+}
+
+TEST(P2Quantile, DuplicateHeavyStreamStaysNearTheMass) {
+  // 90% of the stream is the value 3.0; the median must sit on (or next to)
+  // that plateau despite the parabolic marker updates.
+  std::mt19937_64 engine(7);
+  std::uniform_real_distribution<double> outlier(0.0, 100.0);
+  P2Quantile median(0.5);
+  std::vector<double> all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = (i % 10 == 9) ? outlier(engine) : 3.0;
+    median.add(x);
+    all.push_back(x);
+  }
+  EXPECT_EQ(exact_quantile(all, 0.5), 3.0);
+  EXPECT_NEAR(median.estimate(), 3.0, 0.1);
+}
+
+TEST(P2Quantile, ConvergesToSortedOracleOnRandomStreams) {
+  std::mt19937_64 engine(42);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<double> all;
+  P2Quantile p50(0.5);
+  P2Quantile p90(0.9);
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = uniform(engine);
+    all.push_back(x);
+    p50.add(x);
+    p90.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.estimate(), exact_quantile(all, 0.5), 0.02);
+  EXPECT_NEAR(p90.estimate(), exact_quantile(all, 0.9), 0.02);
+  EXPECT_NEAR(p99.estimate(), exact_quantile(all, 0.99), 0.02);
+}
+
+TEST(P2Quantile, IsAPureFunctionOfTheInsertionSequence) {
+  // The determinism contract: identical sequences give bit-identical state.
+  std::mt19937_64 engine(3);
+  std::uniform_real_distribution<double> uniform(-5.0, 5.0);
+  std::vector<double> stream;
+  for (int i = 0; i < 500; ++i) stream.push_back(uniform(engine));
+
+  P2Quantile a(0.9);
+  P2Quantile b(0.9);
+  for (const double x : stream) {
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_EQ(a.estimate(), b.estimate());
+  EXPECT_EQ(a.count(), b.count());
+}
+
+TEST(P2QuantileSet, FansOutToEveryQuantile) {
+  P2QuantileSet set({0.5, 0.9});
+  for (int i = 1; i <= 100; ++i) set.add(static_cast<double>(i));
+  const auto estimates = set.estimates();
+  ASSERT_EQ(estimates.size(), 2u);
+  EXPECT_NEAR(estimates[0], 50.0, 2.0);
+  EXPECT_NEAR(estimates[1], 90.0, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// TopK
+
+TEST(TopK, KeepsTheKLargestKeys) {
+  TopK<int> top(3);
+  for (int i = 0; i < 10; ++i) {
+    top.add(static_cast<double>(i % 7), static_cast<std::uint64_t>(i), i);
+  }
+  const auto sorted = top.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].key, 6.0);
+  EXPECT_EQ(sorted[1].key, 5.0);
+  EXPECT_EQ(sorted[2].key, 4.0);
+}
+
+TEST(TopK, TiesKeepTheEarliestId) {
+  // Five equal keys into a 2-slot heap: the deterministic rule keeps the two
+  // smallest ids, whatever the arrival order.
+  for (const std::vector<std::uint64_t>& order :
+       {std::vector<std::uint64_t>{0, 1, 2, 3, 4},
+        std::vector<std::uint64_t>{4, 3, 2, 1, 0},
+        std::vector<std::uint64_t>{2, 4, 0, 3, 1}}) {
+    TopK<int> top(2);
+    for (const std::uint64_t id : order) top.add(1.0, id, 0);
+    const auto sorted = top.sorted();
+    ASSERT_EQ(sorted.size(), 2u);
+    EXPECT_EQ(sorted[0].id, 0u);
+    EXPECT_EQ(sorted[1].id, 1u);
+  }
+}
+
+TEST(TopK, MergeOfShardsMatchesStreamingWithDistinctKeys) {
+  // Distinct keys make top-K a pure set property, so sharding + canonical
+  // merge must agree with one serial stream.
+  std::mt19937_64 engine(11);
+  std::vector<double> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(static_cast<double>(i) + 0.5);
+  std::shuffle(keys.begin(), keys.end(), engine);
+
+  TopK<std::uint64_t> serial(8);
+  std::vector<TopK<std::uint64_t>> shards(4, TopK<std::uint64_t>(8));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    serial.add(keys[i], i, i);
+    shards[i % 4].add(keys[i], i, i);
+  }
+  TopK<std::uint64_t> merged(8);
+  for (const auto& shard : shards) merged.merge(shard);
+
+  const auto a = serial.sorted();
+  const auto b = merged.sorted();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+}
+
+TEST(TopK, ZeroCapacityStaysEmpty) {
+  TopK<int> top(0);
+  top.add(1.0, 0, 0);
+  EXPECT_EQ(top.size(), 0u);
+  EXPECT_TRUE(top.sorted().empty());
+}
+
+// ---------------------------------------------------------------------------
+// RunningSummary
+
+TEST(RunningSummary, TracksCountSumAndExtrema) {
+  RunningSummary s;
+  EXPECT_EQ(s.mean(), 0.0);
+  s.add(2.0);
+  s.add(-1.0);
+  s.add(5.0);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 6.0);
+  EXPECT_EQ(s.min, -1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace pr

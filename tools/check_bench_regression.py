@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Throughput regression gate: a fresh bench run vs its committed baseline.
+
+Compares the scenarios/sec figures of two BENCH_*.json documents of the same
+bench type and fails when any current figure drops more than --tolerance
+(default 0.20, the nightly job's 20% budget) below its baseline counterpart.
+Speedups are never an error: faster runs simply pass, so a baseline captured
+on slow hardware stays a valid floor on faster CI runners.
+
+Metrics per bench:
+  * failure_storms -- best scenarios/sec across the thread curve;
+  * backbone       -- per-scale scenarios/sec, matched by scale name.
+
+Usage: check_bench_regression.py BASELINE CURRENT [--tolerance 0.2]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"check_bench_regression: cannot read {path}: {err}")
+
+
+def throughputs(doc, path):
+    bench = doc.get("bench")
+    if bench == "failure_storms":
+        curve = doc.get("threads") or []
+        if not curve:
+            raise SystemExit(f"check_bench_regression: {path} has an empty thread curve")
+        return {"best_threads": max(t["scenarios_per_second"] for t in curve)}
+    if bench == "backbone":
+        scales = doc.get("scales") or []
+        if not scales:
+            raise SystemExit(f"check_bench_regression: {path} has no scales")
+        return {s["name"]: s["scenarios_per_second"] for s in scales}
+    raise SystemExit(
+        f"check_bench_regression: no throughput metric registered for bench "
+        f"'{bench}' ({path})")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop below baseline (default 0.20)")
+    args = parser.parse_args(argv[1:])
+
+    baseline_doc = load(args.baseline)
+    current_doc = load(args.current)
+    if baseline_doc.get("bench") != current_doc.get("bench"):
+        raise SystemExit("check_bench_regression: baseline and current are "
+                         "different bench types")
+
+    baseline = throughputs(baseline_doc, args.baseline)
+    current = throughputs(current_doc, args.current)
+
+    failed = False
+    for name, base_value in sorted(baseline.items()):
+        cur_value = current.get(name)
+        if cur_value is None:
+            print(f"{name}: missing from current run", file=sys.stderr)
+            failed = True
+            continue
+        floor = (1.0 - args.tolerance) * base_value
+        verdict = "ok" if cur_value >= floor else "REGRESSION"
+        ratio = cur_value / base_value if base_value > 0 else float("inf")
+        print(f"{name}: baseline {base_value:.1f} -> current {cur_value:.1f} "
+              f"scenarios/s ({ratio:.2f}x, floor {floor:.1f}) {verdict}")
+        if cur_value < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
