@@ -40,7 +40,17 @@
 //       "overload_rate": ..., "worst": [ { "scenario": ...,
 //       "max_utilization": ..., "lost_pps": ..., "stranded_pps": ...,
 //       "failed_edges": ..., "failed_groups": [...] }, ... ] }, ... ],
+//     "resilience": { "fault_plan": "...", "stop_reason": "...",
+//       "completed_units": ..., "checkpoint_bytes": ..., "resumed": ...,
+//       "bit_identical_after_resume": true, "deadline": { ... } },
 //     "peak_rss_mb": ... }
+//
+// Section 4 (resilience) interrupts the sweep -- a scenario budget at half
+// the sweep by default, or whatever PR_FAULT_THROW_UNIT / PR_FAULT_STALL_UNIT
+// / PR_FAULT_MALFORMED_UNIT / PR_FAULT_FAIL_CHECKPOINT inject (CI's
+// fault-injection smoke) -- then resumes from the checkpoint and requires the
+// final reducers bit-identical to the uninterrupted reference; a second leg
+// does the same through a 25 ms wall-clock deadline.
 //
 //   $ ./bench_failure_storms [scenarios 1..10000000] [threads 0..N]
 //                            [top_k 1..100]
@@ -61,7 +71,9 @@
 #include "analysis/storm.hpp"
 #include "analysis/traffic.hpp"
 #include "net/storm_model.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/parallel_sweep.hpp"
+#include "sim/run_control.hpp"
 #include "topo/topologies.hpp"
 #include "traffic/capacity.hpp"
 #include "traffic/demand.hpp"
@@ -393,7 +405,82 @@ int main(int argc, char** argv) {
     json << "\n      ] }";
     std::cout << "\n";
   }
-  json << "\n  ],\n  \"peak_rss_mb\": " << peak_rss_mb() << "\n}\n";
+  json << "\n  ]";
+
+  // -- Section 4: resilience -- interrupt the sweep, checkpoint, resume, and
+  // require the resumed reducers bit-identical to the uninterrupted
+  // reference.  A fault plan from the PR_FAULT_* environment (CI's
+  // fault-injection smoke) rides along on the first leg; without one the
+  // interrupt is a clean scenario budget at half the sweep.  Either way the
+  // second leg resumes from the checkpoint with no faults and must land on
+  // exactly the Section 2 reference.
+  {
+    sim::SweepExecutor executor(threads_cap);
+    const sim::FaultPlan faults = sim::FaultPlan::from_env();
+
+    sim::RunControl control;
+    control.set_unit_budget(scenario_count / 2);
+    if (!faults.empty()) control.set_fault_plan(&faults);
+    analysis::StormRunOptions options;
+    options.control = &control;
+    const auto interrupt_start = Clock::now();
+    const auto partial = analysis::run_storm_experiment_resilient(
+        g, demand, plan, model, protocols, config, executor, options);
+
+    sim::RunControl resume_control;
+    analysis::StormRunOptions resume_options;
+    resume_options.control = &resume_control;
+    resume_options.resume_from = partial.checkpoint;
+    const auto finished = analysis::run_storm_experiment_resilient(
+        g, demand, plan, model, protocols, config, executor, resume_options);
+    const double interrupt_resume_ms = elapsed_ms(interrupt_start);
+    require_identical(reference, finished.result, threads_cap);
+
+    std::cout << "-- Resilience: " << sim::to_string(partial.outcome.stop_reason)
+              << " at " << partial.completed_scenarios << "/" << scenario_count
+              << " (fault plan: " << faults.describe() << "), checkpoint "
+              << partial.checkpoint.size() << " bytes, resume"
+              << (finished.resumed ? "d" : " (fresh)")
+              << " -> bit-identical to the uninterrupted sweep --\n";
+    if (!partial.checkpoint_error.empty()) {
+      std::cout << "   checkpoint error on the first leg: "
+                << partial.checkpoint_error << "\n";
+    }
+
+    // Deadline leg: a wall-clock cut mid-sweep, then resume to completion.
+    sim::RunControl deadline_control;
+    deadline_control.set_timeout(std::chrono::milliseconds(25));
+    analysis::StormRunOptions deadline_options;
+    deadline_options.control = &deadline_control;
+    const auto cut = analysis::run_storm_experiment_resilient(
+        g, demand, plan, model, protocols, config, executor, deadline_options);
+    sim::RunControl finish_control;
+    analysis::StormRunOptions finish_options;
+    finish_options.control = &finish_control;
+    finish_options.resume_from = cut.checkpoint;
+    const auto completed = analysis::run_storm_experiment_resilient(
+        g, demand, plan, model, protocols, config, executor, finish_options);
+    require_identical(reference, completed.result, threads_cap);
+    std::cout << "   deadline leg: " << sim::to_string(cut.outcome.stop_reason)
+              << " at " << cut.completed_scenarios << "/" << scenario_count
+              << ", resumed to completion, bit-identical\n\n";
+
+    json << ",\n  \"resilience\": { \"fault_plan\": \"" << faults.describe()
+         << "\",\n    \"stop_reason\": \""
+         << sim::to_string(partial.outcome.stop_reason)
+         << "\", \"completed_units\": " << partial.outcome.completed_units
+         << ", \"checkpoint_bytes\": " << partial.checkpoint.size()
+         << ", \"resumed\": " << (finished.resumed ? "true" : "false")
+         << ", \"interrupt_resume_ms\": " << interrupt_resume_ms
+         << ", \"bit_identical_after_resume\": true,\n    \"deadline\": { "
+         << "\"timeout_ms\": 25, \"stop_reason\": \""
+         << sim::to_string(cut.outcome.stop_reason)
+         << "\", \"completed_units\": " << cut.outcome.completed_units
+         << ", \"resumed\": " << (completed.resumed ? "true" : "false")
+         << ", \"bit_identical_after_resume\": true } }";
+  }
+
+  json << ",\n  \"peak_rss_mb\": " << peak_rss_mb() << "\n}\n";
 
   std::cout << json.str();
   std::ofstream out("BENCH_failure_storms.json");

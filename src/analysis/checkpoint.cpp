@@ -1,0 +1,118 @@
+#include "analysis/checkpoint.hpp"
+
+#include <bit>
+
+namespace pr::analysis {
+namespace {
+
+constexpr std::string_view kMagic = "PRCKPT01";
+constexpr std::size_t kChecksumBytes = 8;
+
+/// FNV-1a 64 over the given bytes: cheap, byte-order free, and plenty to
+/// catch the truncation/bit-rot class of corruption a checkpoint meets in
+/// practice (it is an integrity check, not an authenticity one).
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+std::uint64_t read_u64(std::string_view bytes, std::size_t at) noexcept {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) |
+            static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter() { buffer_.append(kMagic); }
+
+void CheckpointWriter::u32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void CheckpointWriter::u64(std::uint64_t value) { append_u64(buffer_, value); }
+
+void CheckpointWriter::f64(double value) {
+  append_u64(buffer_, std::bit_cast<std::uint64_t>(value));
+}
+
+void CheckpointWriter::str(std::string_view value) {
+  u64(value.size());
+  buffer_.append(value);
+}
+
+std::string CheckpointWriter::finish() {
+  if (finished_) {
+    throw CheckpointError("CheckpointWriter::finish: already finished");
+  }
+  finished_ = true;
+  append_u64(buffer_, fnv1a(buffer_));
+  return std::move(buffer_);
+}
+
+CheckpointReader::CheckpointReader(std::string_view blob) : blob_(blob) {
+  if (blob_.size() < kMagic.size() + kChecksumBytes) {
+    throw CheckpointError("checkpoint: blob too short");
+  }
+  if (blob_.substr(0, kMagic.size()) != kMagic) {
+    throw CheckpointError("checkpoint: bad magic (not a PRCKPT01 blob)");
+  }
+  end_ = blob_.size() - kChecksumBytes;
+  const std::uint64_t want = read_u64(blob_, end_);
+  const std::uint64_t got = fnv1a(blob_.substr(0, end_));
+  if (want != got) {
+    throw CheckpointError("checkpoint: checksum mismatch (corrupted blob)");
+  }
+  cursor_ = kMagic.size();
+}
+
+void CheckpointReader::need(std::size_t bytes) const {
+  if (end_ - cursor_ < bytes) {
+    throw CheckpointError("checkpoint: truncated field (schema mismatch?)");
+  }
+}
+
+std::uint32_t CheckpointReader::u32() {
+  need(4);
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) |
+            static_cast<unsigned char>(blob_[cursor_ + static_cast<std::size_t>(i)]);
+  }
+  cursor_ += 4;
+  return value;
+}
+
+std::uint64_t CheckpointReader::u64() {
+  need(8);
+  const std::uint64_t value = read_u64(blob_, cursor_);
+  cursor_ += 8;
+  return value;
+}
+
+double CheckpointReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string CheckpointReader::str() {
+  const std::uint64_t length = u64();
+  need(length);
+  std::string out(blob_.substr(cursor_, length));
+  cursor_ += length;
+  return out;
+}
+
+}  // namespace pr::analysis

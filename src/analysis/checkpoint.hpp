@@ -1,0 +1,82 @@
+// Versioned, checksummed binary checkpoint codec for sweep resume.
+//
+// A checkpoint captures mid-sweep reducer state (P^2 markers, top-K entries,
+// running summaries) plus the scenario cursor, so a storm sweep stopped at a
+// deadline can resume in a later process and finish BIT-IDENTICAL to an
+// uninterrupted run.  Two properties make that exactness possible upstream:
+// the executor's deterministic truncation contract guarantees the state is a
+// clean canonical prefix [0, k), and split-seed RNG streams are stateless per
+// scenario, so "resume" needs only the cursor k, never generator state.
+//
+// Format: the 8-byte magic "PRCKPT01", then the writer's field stream --
+// u32/u64 little-endian, f64 as the bit_cast'd u64 (exact round-trip for
+// every value including -0.0 and the NaN payloads), strings as u64 length +
+// raw bytes -- then a trailing FNV-1a 64 checksum of everything before it.
+// The reader verifies magic + checksum up front and bounds-checks every
+// read; any mismatch throws CheckpointError.  Schema layout and versioning
+// are the CALLER's contract: writers put a kind/version pair right after the
+// magic (see analysis/storm.cpp) and readers reject kinds/versions they do
+// not understand.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pr::analysis {
+
+/// Any structural problem with a checkpoint blob: bad magic, checksum
+/// mismatch, truncation, or a field that fails the caller's validation.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only field writer.  Call the typed appenders in schema order, then
+/// finish() exactly once to seal the blob with its checksum.
+class CheckpointWriter {
+ public:
+  CheckpointWriter();
+
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void f64(double value);
+  void str(std::string_view value);
+
+  /// Appends the checksum and returns the sealed blob; the writer must not
+  /// be used afterwards.
+  [[nodiscard]] std::string finish();
+
+ private:
+  std::string buffer_;
+  bool finished_ = false;
+};
+
+/// Sequential field reader over a sealed blob.  The constructor validates
+/// magic and checksum; the typed readers must be called in the writer's
+/// schema order and throw CheckpointError on any overrun.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::string_view blob);
+
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  /// True when every payload byte has been consumed (trailing garbage inside
+  /// a checksummed blob indicates a schema mismatch -- callers should check
+  /// this after the last field).
+  [[nodiscard]] bool exhausted() const noexcept { return cursor_ == end_; }
+
+ private:
+  void need(std::size_t bytes) const;
+
+  std::string_view blob_;
+  std::size_t cursor_ = 0;
+  std::size_t end_ = 0;  // payload end: blob size minus trailing checksum
+};
+
+}  // namespace pr::analysis

@@ -87,6 +87,30 @@ double P2Quantile::estimate() const {
   return heights_[2];
 }
 
+P2Quantile P2Quantile::from_state(const P2State& state) {
+  P2Quantile p(state.quantile);  // validates the quantile
+  const std::size_t live = state.count < 5 ? state.count : 5;
+  for (std::size_t i = 0; i < live; ++i) {
+    if (!std::isfinite(state.heights[i])) {
+      throw std::invalid_argument("P2Quantile::from_state: non-finite marker height");
+    }
+  }
+  if (state.count >= 5) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (!std::isfinite(state.positions[i]) || !std::isfinite(state.desired[i]) ||
+          !std::isfinite(state.desired_delta[i])) {
+        throw std::invalid_argument("P2Quantile::from_state: non-finite marker position");
+      }
+    }
+  }
+  p.count_ = state.count;
+  p.heights_ = state.heights;
+  p.positions_ = state.positions;
+  p.desired_ = state.desired;
+  p.desired_delta_ = state.desired_delta;
+  return p;
+}
+
 P2QuantileSet::P2QuantileSet(std::vector<double> quantiles) {
   estimators_.reserve(quantiles.size());
   for (const double q : quantiles) estimators_.emplace_back(q);

@@ -22,9 +22,24 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace pr::analysis {
+
+/// Complete serialized state of a P2Quantile: restoring it resumes the
+/// estimator mid-stream BIT-IDENTICALLY -- every future add() and estimate()
+/// behaves exactly as on the uninterrupted instance, including the exact
+/// tiny-n path (heights_ doubles as the raw sample buffer while count <= 5).
+/// This is what storm-sweep checkpoints persist (analysis/checkpoint.hpp).
+struct P2State {
+  double quantile = 0.0;
+  std::size_t count = 0;
+  std::array<double, 5> heights{};
+  std::array<double, 5> positions{};
+  std::array<double, 5> desired{};
+  std::array<double, 5> desired_delta{};
+};
 
 /// Single-quantile P^2 estimator.  add() is O(1); estimate() is exact while
 /// fewer than 6 samples have been seen (it sorts the marker buffer) and the
@@ -46,6 +61,18 @@ class P2Quantile {
   /// tiny-n streams agree bit-for-bit with a sorted-sample oracle.
   [[nodiscard]] double estimate() const;
 
+  /// Snapshot of the full estimator state for checkpointing.
+  [[nodiscard]] P2State state() const {
+    return P2State{q_, count_, heights_, positions_, desired_, desired_delta_};
+  }
+
+  /// Rebuild an estimator from a state() snapshot; the result is
+  /// indistinguishable from the instance that produced the snapshot.  Throws
+  /// std::invalid_argument when the snapshot is structurally invalid (bad
+  /// quantile, non-finite markers) -- a corrupted checkpoint must not become
+  /// a silently-wrong estimator.
+  [[nodiscard]] static P2Quantile from_state(const P2State& state);
+
  private:
   double q_;
   std::size_t count_ = 0;
@@ -60,6 +87,10 @@ class P2Quantile {
 class P2QuantileSet {
  public:
   explicit P2QuantileSet(std::vector<double> quantiles);
+
+  /// Rebuild from restored estimators (checkpoint resume path).
+  explicit P2QuantileSet(std::vector<P2Quantile> estimators)
+      : estimators_(std::move(estimators)) {}
 
   void add(double x) {
     for (auto& e : estimators_) e.add(x);

@@ -21,10 +21,22 @@
 // the oracle's as the scenario count grows (law of large numbers, NOT
 // bit-identity -- bit-identity holds across thread counts of one sampled
 // sweep, convergence across estimators).
+//
+// Resilience (PR 8): run_storm_experiment_resilient runs the same sweep
+// under a sim::RunControl -- deadline, cancel, scenario budget, fault plan --
+// and instead of all-or-nothing returns the canonical prefix it completed
+// plus a versioned checkpoint blob.  Feeding that blob back via
+// StormRunOptions::resume_from continues the sweep in a later call (or a
+// later process) to results BIT-IDENTICAL to an uninterrupted run: the
+// executor's deterministic truncation contract means the interrupted state
+// is a clean prefix [0, k), split-seed RNG streams are stateless per
+// scenario, and every reducer serializes its exact state
+// (analysis/checkpoint.hpp).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/reducers.hpp"
@@ -121,6 +133,55 @@ struct StormExperimentResult {
     const traffic::CapacityPlan& plan, const net::StormModel& model,
     const std::vector<NamedFactory>& protocols, const StormSweepConfig& config,
     sim::SweepExecutor& executor);
+
+/// Knobs for a resilient storm run.
+struct StormRunOptions {
+  /// Stop signals + error policy + fault plan for the sweep; nullptr runs
+  /// uncontrolled (to completion, worker exceptions rethrown as
+  /// sim::SweepUnitError like run_storm_experiment).
+  const sim::RunControl* control = nullptr;
+  /// A checkpoint blob from a previous StormRunResult to resume from; empty
+  /// starts fresh.  The blob must match this experiment exactly (same seed,
+  /// scenario target, top_k, quantiles, protocol names, demand shape) --
+  /// any mismatch or corruption throws CheckpointError.
+  std::string_view resume_from{};
+};
+
+/// Outcome of a resilient storm run: the (possibly partial) experiment
+/// result over the first `completed_scenarios` scenarios, the executor's
+/// stop report, and a checkpoint blob that resumes the sweep from exactly
+/// here.  result.scenarios == completed_scenarios; every reducer holds the
+/// canonical prefix [0, completed_scenarios) of the scenario stream, so
+/// partial results are themselves bit-identical to a smaller run.
+struct StormRunResult {
+  StormExperimentResult result;
+  sim::SweepOutcome outcome;
+  /// Absolute scenario cursor (includes scenarios done before a resume).
+  std::size_t completed_scenarios = 0;
+  bool resumed = false;  ///< this run started from options.resume_from
+  /// Sealed checkpoint at completed_scenarios; empty when serialization
+  /// failed (see checkpoint_error) -- in-memory results are still valid.
+  std::string checkpoint;
+  std::string checkpoint_error;
+
+  [[nodiscard]] bool complete() const noexcept {
+    return outcome.stop_reason == sim::StopReason::kCompleted;
+  }
+};
+
+/// run_storm_experiment under a RunControl, with checkpoint/resume.  The
+/// sweep stops cooperatively at scenario boundaries on cancel/deadline/
+/// budget and contains per-scenario failures per the control's error policy;
+/// whatever the stop cause, the returned reducers cover exactly
+/// [0, completed_scenarios) and resuming from the checkpoint -- at ANY
+/// thread count -- finishes to results bit-identical to an uninterrupted
+/// run.  Scenario draws are validated against the model's group catalog
+/// (malformed samples are contained as unit errors, never dereferenced).
+[[nodiscard]] StormRunResult run_storm_experiment_resilient(
+    const graph::Graph& g, const traffic::TrafficMatrix& demand,
+    const traffic::CapacityPlan& plan, const net::StormModel& model,
+    const std::vector<NamedFactory>& protocols, const StormSweepConfig& config,
+    sim::SweepExecutor& executor, const StormRunOptions& options = {});
 
 /// One protocol's exact expectation under an enumerable outage model.
 struct StormOracleProtocol {

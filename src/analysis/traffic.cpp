@@ -259,11 +259,11 @@ TrafficExperimentResult run_traffic_experiment(
   return result;
 }
 
-TrafficExperimentResult run_traffic_experiment(
+TrafficRunResult run_traffic_experiment_resilient(
     const graph::Graph& g, const traffic::TrafficMatrix& demand,
     const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
     const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor,
-    TrafficSweepMode mode) {
+    const sim::RunControl& control, TrafficSweepMode mode) {
   validate(g, demand, plan, protocols);
 
   std::vector<sim::FlowSpec> flows;
@@ -287,7 +287,8 @@ TrafficExperimentResult run_traffic_experiment(
   };
   std::vector<ScenarioPartial> partials(scenarios.size());
 
-  executor.run(scenarios.size(), [&](std::size_t unit, sim::WorkerContext& ctx) {
+  const sim::SweepExecutor::UnitFn unit_fn = [&](std::size_t unit,
+                                                 sim::WorkerContext& ctx) {
     const graph::EdgeSet& failures = scenarios[unit];
     net::Network network(g);
     for (graph::EdgeId e : failures.elements()) network.fail_link(e);
@@ -318,14 +319,22 @@ TrafficExperimentResult run_traffic_experiment(
       cell.add(ctx.load);
       partial.loads.push_back(std::move(cell));
     }
-  });
+  };
+  TrafficRunResult run;
+  run.outcome = executor.run(scenarios.size(), unit_fn, control);
 
-  // Canonical-order merge: appending per-scenario rows and merging the load
-  // reductions in scenario order performs the serial driver's element-wise
-  // additions in the exact same sequence, so the floating-point sums are
-  // bit-identical.
+  // Canonical-order merge over the surviving prefix: appending per-scenario
+  // rows and merging the load reductions in scenario order performs the
+  // serial driver's element-wise additions in the exact same sequence, so
+  // the floating-point sums are bit-identical.  Only units inside the
+  // executor's truncation prefix count -- anything beyond it (including
+  // slots a worker wrote before the stop was observed) is discarded, and
+  // contained-failure units (kContinue policy) merge nothing: their partial
+  // vectors stayed empty.
   TrafficExperimentResult result = make_result(scenarios, protocols, flows.size(), mode);
-  for (ScenarioPartial& partial : partials) {
+  result.scenarios = run.outcome.completed_units;
+  for (std::size_t s = 0; s < run.outcome.completed_units; ++s) {
+    ScenarioPartial& partial = partials[s];
     for (std::size_t i = 0; i < partial.metrics.size(); ++i) {
       auto& agg = result.protocols[i];
       agg.per_scenario.push_back(partial.metrics[i]);
@@ -335,7 +344,27 @@ TrafficExperimentResult run_traffic_experiment(
     // Release each shard's load maps as they merge.
     std::vector<traffic::LoadMapReduction>().swap(partial.loads);
   }
-  return result;
+  run.result = std::move(result);
+  return run;
+}
+
+TrafficExperimentResult run_traffic_experiment(
+    const graph::Graph& g, const traffic::TrafficMatrix& demand,
+    const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor,
+    TrafficSweepMode mode) {
+  // An unconstrained control: the sweep runs to completion unless a unit
+  // throws, in which case we surface it like the serial driver would.
+  const sim::RunControl control;
+  TrafficRunResult run = run_traffic_experiment_resilient(
+      g, demand, plan, scenarios, protocols, executor, control, mode);
+  if (!run.complete()) {
+    const sim::UnitError* e = run.outcome.first_error();
+    throw sim::SweepUnitError(e != nullptr ? e->unit : 0,
+                              e != nullptr ? e->worker : 0,
+                              e != nullptr ? e->what : "sweep did not complete");
+  }
+  return std::move(run.result);
 }
 
 }  // namespace pr::analysis

@@ -32,6 +32,7 @@
 
 #include "analysis/stretch.hpp"
 #include "sim/forwarding_engine.hpp"
+#include "sim/run_control.hpp"
 #include "traffic/capacity.hpp"
 #include "traffic/congestion.hpp"
 #include "traffic/demand.hpp"
@@ -113,6 +114,32 @@ void collect_demand_flows(const traffic::TrafficMatrix& demand,
     const graph::Graph& g, const traffic::TrafficMatrix& demand,
     const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
     const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor,
+    TrafficSweepMode mode = TrafficSweepMode::kIncremental);
+
+/// A resilient traffic run: the (possibly partial) result plus the
+/// executor's stop report.  result.scenarios == outcome.completed_units and
+/// every per-protocol row/load covers exactly the canonical scenario prefix
+/// [0, completed_units) -- bit-identical to running just those scenarios.
+struct TrafficRunResult {
+  TrafficExperimentResult result;
+  sim::SweepOutcome outcome;
+
+  [[nodiscard]] bool complete() const noexcept {
+    return outcome.stop_reason == sim::StopReason::kCompleted;
+  }
+};
+
+/// The executor overload under a sim::RunControl: stops cooperatively at
+/// scenario boundaries on cancel/deadline/budget, contains per-scenario
+/// failures per the control's error policy, and returns the surviving
+/// canonical prefix instead of throwing.  Scenario lists are enumerated
+/// (unlike sampled storms), so "resume" is simply re-running with the
+/// remaining span -- no checkpoint machinery needed here.
+[[nodiscard]] TrafficRunResult run_traffic_experiment_resilient(
+    const graph::Graph& g, const traffic::TrafficMatrix& demand,
+    const traffic::CapacityPlan& plan, std::span<const graph::EdgeSet> scenarios,
+    const std::vector<NamedFactory>& protocols, sim::SweepExecutor& executor,
+    const sim::RunControl& control,
     TrafficSweepMode mode = TrafficSweepMode::kIncremental);
 
 }  // namespace pr::analysis

@@ -1,0 +1,99 @@
+#include "sim/fault_plan.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace pr::sim {
+namespace {
+
+std::vector<std::string> split_commas(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string_view::npos ? text.size() : comma;
+    out.emplace_back(text.substr(start, end - start));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::size_t parse_index(const std::string& token, const char* var) {
+  if (token.empty() || token.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument(std::string(var) + ": expected a non-negative integer, got '" +
+                                token + "'");
+  }
+  errno = 0;
+  const unsigned long long value = std::strtoull(token.c_str(), nullptr, 10);
+  if (errno != 0 || value > std::numeric_limits<std::size_t>::max()) {
+    throw std::invalid_argument(std::string(var) + ": value out of range '" + token + "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+std::string FaultPlan::describe() const {
+  if (empty()) return "no faults";
+  std::ostringstream out;
+  const char* sep = "";
+  if (!throw_units_.empty()) {
+    out << sep << "throw in unit";
+    for (const std::size_t u : throw_units_) out << ' ' << u;
+    sep = "; ";
+  }
+  if (!stalls_.empty()) {
+    out << sep << "stall";
+    for (const auto& [u, d] : stalls_) out << ' ' << u << ':' << d.count() << "ms";
+    sep = "; ";
+  }
+  if (!malformed_units_.empty()) {
+    out << sep << "malformed scenario in unit";
+    for (const std::size_t u : malformed_units_) out << ' ' << u;
+    sep = "; ";
+  }
+  if (fail_checkpoint_) out << sep << "fail at checkpoint";
+  return out.str();
+}
+
+FaultPlan FaultPlan::from_env() {
+  FaultPlan plan;
+  if (const char* raw = std::getenv("PR_FAULT_THROW_UNIT"); raw != nullptr && *raw != '\0') {
+    for (const auto& token : split_commas(raw)) {
+      plan.throw_in_unit(parse_index(token, "PR_FAULT_THROW_UNIT"));
+    }
+  }
+  if (const char* raw = std::getenv("PR_FAULT_STALL_UNIT"); raw != nullptr && *raw != '\0') {
+    for (const auto& token : split_commas(raw)) {
+      const std::size_t colon = token.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("PR_FAULT_STALL_UNIT: expected 'unit:ms', got '" + token +
+                                    "'");
+      }
+      const std::size_t unit = parse_index(token.substr(0, colon), "PR_FAULT_STALL_UNIT");
+      const std::size_t ms = parse_index(token.substr(colon + 1), "PR_FAULT_STALL_UNIT");
+      plan.stall_unit(unit, std::chrono::milliseconds(ms));
+    }
+  }
+  if (const char* raw = std::getenv("PR_FAULT_FAIL_CHECKPOINT"); raw != nullptr && *raw != '\0') {
+    const std::string_view value(raw);
+    if (value == "1" || value == "true" || value == "yes") {
+      plan.fail_at_checkpoint();
+    } else if (value != "0" && value != "false" && value != "no") {
+      throw std::invalid_argument("PR_FAULT_FAIL_CHECKPOINT: expected 0/1, got '" +
+                                  std::string(value) + "'");
+    }
+  }
+  if (const char* raw = std::getenv("PR_FAULT_MALFORMED_UNIT"); raw != nullptr && *raw != '\0') {
+    for (const auto& token : split_commas(raw)) {
+      plan.malformed_scenario(parse_index(token, "PR_FAULT_MALFORMED_UNIT"));
+    }
+  }
+  return plan;
+}
+
+}  // namespace pr::sim

@@ -1,0 +1,98 @@
+// Deterministic fault injection for sweep runs.
+//
+// A FaultPlan is a fixed, seed-independent script of failures keyed on
+// RUN-RELATIVE executor unit indices (unit 0 is the first unit of the run it
+// is attached to, not an absolute scenario id -- a resumed sweep restarts
+// unit numbering at its offset).  The executor and the storm driver consult
+// it at well-defined hook points:
+//
+//   - throw_in_unit(u): the executor throws InjectedFault instead of running
+//     unit u, exercising per-unit error containment and truncation.
+//   - stall_unit(u, d): the executor sleeps d before running unit u, skewing
+//     worker timing to shake out ordering assumptions (results must not
+//     change -- that is the point).
+//   - malformed_scenario(u): the storm driver corrupts unit u's sampled
+//     scenario (an out-of-range risk-group id) before validation, proving
+//     input validation feeds the same containment path.
+//   - fail_at_checkpoint(): checkpoint serialization throws CheckpointError,
+//     proving a failed checkpoint never corrupts in-memory results.
+//
+// Plans come from tests directly or from the environment (from_env) so CI
+// can inject faults into stock benches without recompiling.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace pr::sim {
+
+/// The exception injected by throw-in-unit faults.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // -- builders (chainable) -------------------------------------------------
+  FaultPlan& throw_in_unit(std::size_t unit) {
+    throw_units_.insert(unit);
+    return *this;
+  }
+  FaultPlan& stall_unit(std::size_t unit, std::chrono::milliseconds delay) {
+    stalls_[unit] = delay;
+    return *this;
+  }
+  FaultPlan& fail_at_checkpoint() {
+    fail_checkpoint_ = true;
+    return *this;
+  }
+  FaultPlan& malformed_scenario(std::size_t unit) {
+    malformed_units_.insert(unit);
+    return *this;
+  }
+
+  // -- queries --------------------------------------------------------------
+  [[nodiscard]] bool should_throw(std::size_t unit) const {
+    return throw_units_.count(unit) != 0;
+  }
+  /// Zero when unit has no stall scheduled.
+  [[nodiscard]] std::chrono::milliseconds stall_for(std::size_t unit) const {
+    const auto it = stalls_.find(unit);
+    return it == stalls_.end() ? std::chrono::milliseconds{0} : it->second;
+  }
+  [[nodiscard]] bool fail_checkpoint() const { return fail_checkpoint_; }
+  [[nodiscard]] bool malformed(std::size_t unit) const {
+    return malformed_units_.count(unit) != 0;
+  }
+  [[nodiscard]] bool empty() const {
+    return throw_units_.empty() && stalls_.empty() && !fail_checkpoint_ &&
+           malformed_units_.empty();
+  }
+
+  /// Human-readable one-line summary ("no faults" when empty).
+  [[nodiscard]] std::string describe() const;
+
+  /// Build a plan from PR_FAULT_* environment variables:
+  ///   PR_FAULT_THROW_UNIT=u[,u...]      throw InjectedFault in these units
+  ///   PR_FAULT_STALL_UNIT=u:ms[,u:ms]   sleep ms before these units
+  ///   PR_FAULT_FAIL_CHECKPOINT=1        checkpoint serialization fails
+  ///   PR_FAULT_MALFORMED_UNIT=u[,u...]  corrupt these units' scenarios
+  /// Unset variables contribute nothing; malformed values throw
+  /// std::invalid_argument (a typo'd fault plan must not silently pass CI).
+  [[nodiscard]] static FaultPlan from_env();
+
+ private:
+  std::set<std::size_t> throw_units_;
+  std::map<std::size_t, std::chrono::milliseconds> stalls_;
+  std::set<std::size_t> malformed_units_;
+  bool fail_checkpoint_ = false;
+};
+
+}  // namespace pr::sim

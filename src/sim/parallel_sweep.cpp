@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
+
+#include "sim/fault_plan.hpp"
 
 namespace pr::sim {
 
@@ -50,39 +55,80 @@ std::size_t threads_from_arg(int argc, char** argv, int index, std::size_t fallb
 }
 
 struct SweepExecutor::Impl {
+  static constexpr std::size_t kNoTruncation = std::numeric_limits<std::size_t>::max();
+
   std::mutex mutex;
   std::condition_variable work_ready;
   std::condition_variable job_done;
   std::vector<std::thread> workers;
 
-  // Current job, guarded by `mutex` except for the unit cursor.
+  // Current job, guarded by `mutex` except for the atomics.
   const UnitFn* fn = nullptr;
   std::size_t unit_count = 0;
+  std::size_t claim_limit = 0;  // min(unit_count, control budget)
   std::uint64_t seed = 0;
   std::uint64_t generation = 0;  // bumped per run(); wakes the pool
   std::size_t idle_workers = 0;  // workers finished with the current job
-  std::exception_ptr first_error;
-  bool job_active = false;  // run() admits one caller at a time
+  bool job_active = false;       // run() admits one caller at a time
   bool stopping = false;
+
+  // Run-control plumbing for the current job.  `control` is read-only;
+  // `policy`/`faults` are snapshots taken at job start.  Legacy (void) entry
+  // points run with kStop policy and rethrow the lowest-unit failure.
+  const RunControl* control = nullptr;
+  const FaultPlan* faults = nullptr;
+  UnitErrorPolicy policy = UnitErrorPolicy::kStop;
+  std::atomic<bool> halted{false};  // stop claiming; in-flight units finish
+  bool saw_cancel = false;          // guarded by `mutex`
+  bool saw_deadline = false;        // guarded by `mutex`
+
+  // Error containment, guarded by `mutex`.  `truncate_at` is the lowest unit
+  // whose failure truncates the prefix (kStop/legacy policy, or a reduce()
+  // failure under any policy); kNoTruncation when none has.
+  std::vector<UnitError> errors;
+  std::size_t error_count = 0;
+  std::size_t truncate_at = kNoTruncation;
+  std::exception_ptr lowest_error;       // for the legacy rethrow
+  std::size_t lowest_error_unit = kNoTruncation;
+  std::size_t lowest_error_worker = 0;
 
   // Ordered-reduction state (run_ordered only), guarded by `mutex`.
   const ReduceFn* reduce = nullptr;
   std::size_t window = 0;
   std::size_t watermark = 0;        // next unit to reduce, strictly ascending
-  std::vector<std::uint8_t> done;   // completed-not-yet-reduced ring, size `window`
+  std::vector<std::uint8_t> done;   // ring, size `window`: 0 pending, 1 ok, 2 failed
   std::condition_variable slot_free;
-  bool aborted = false;  // an exception abandoned the job; wake slot waiters
 
   std::atomic<std::size_t> next_unit{0};
+  std::atomic<std::size_t> executed{0};  // claimed units actually attempted
 
-  /// Records the first exception and abandons the job: the unit cursor jumps
-  /// past the end so claim loops drain, and slot waiters are woken to bail.
-  /// Caller must hold `mutex`.
-  void abandon_locked() {
-    if (!first_error) first_error = std::current_exception();
-    aborted = true;
-    next_unit.store(unit_count, std::memory_order_relaxed);
-    slot_free.notify_all();
+  /// Captures the active exception as a UnitError (and as the legacy rethrow
+  /// candidate when it is the lowest unit so far).  Under a truncating policy
+  /// also halts claiming and lowers `truncate_at`.  Caller must hold `mutex`
+  /// and be inside a catch block.
+  void record_error_locked(std::size_t unit, std::size_t worker, bool truncating) {
+    ++error_count;
+    std::string what;
+    try {
+      throw;
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+      what = "unknown exception";
+    }
+    if (errors.size() < SweepOutcome::kMaxRecordedErrors) {
+      errors.push_back(UnitError{unit, worker, std::move(what)});
+    }
+    if (unit < lowest_error_unit) {
+      lowest_error_unit = unit;
+      lowest_error_worker = worker;
+      lowest_error = std::current_exception();
+    }
+    if (truncating) {
+      halted.store(true, std::memory_order_relaxed);
+      if (unit < truncate_at) truncate_at = unit;
+      slot_free.notify_all();  // waiters above the truncation point bail
+    }
   }
 
   void worker_main(std::size_t worker_index) {
@@ -97,40 +143,81 @@ struct SweepExecutor::Impl {
         seen_generation = generation;
       }
       while (true) {
+        if (halted.load(std::memory_order_relaxed)) break;
+        if (control != nullptr) {
+          // Cooperative stop checks happen BEFORE claiming: a claimed unit
+          // always runs to completion, which is what keeps the executed set
+          // a contiguous prefix (claims are handed out in order).
+          if (control->cancelled()) {
+            halted.store(true, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mutex);
+            saw_cancel = true;
+            break;
+          }
+          if (control->deadline_expired()) {
+            halted.store(true, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mutex);
+            saw_deadline = true;
+            break;
+          }
+        }
         const std::size_t unit = next_unit.fetch_add(1, std::memory_order_relaxed);
-        if (unit >= unit_count) break;
+        if (unit >= claim_limit) break;
         if (reduce != nullptr) {
           // Ordered job: the unit's ring slot must be free, i.e. every unit
           // `window` or more below must have been reduced.  The holder of the
           // watermark unit never waits here, so the pipeline always advances.
+          // A truncation below this unit makes its result irrelevant -- bail
+          // (dropping a claim ABOVE the truncation point cannot hole the
+          // surviving prefix).  Waiters at or below the truncation point must
+          // keep going: the watermark still has to reach them.
           std::unique_lock<std::mutex> lock(mutex);
-          slot_free.wait(lock, [&] { return aborted || unit < watermark + window; });
-          if (aborted) continue;  // drain remaining claims
+          slot_free.wait(lock, [&] {
+            return truncate_at < unit || unit < watermark + window;
+          });
+          if (truncate_at < unit) continue;
         }
         ctx.rng_ = graph::Rng(split_seed(seed, unit));
+        if (faults != nullptr) {
+          const auto stall = faults->stall_for(unit);
+          if (stall.count() > 0) std::this_thread::sleep_for(stall);
+        }
+        bool ok = true;
         try {
+          if (faults != nullptr && faults->should_throw(unit)) {
+            throw InjectedFault("injected fault in unit " + std::to_string(unit));
+          }
           (*fn)(unit, ctx);
         } catch (...) {
+          ok = false;
           std::lock_guard<std::mutex> lock(mutex);
-          abandon_locked();
-          continue;
+          record_error_locked(unit, worker_index,
+                              policy == UnitErrorPolicy::kStop);
         }
+        executed.fetch_add(1, std::memory_order_relaxed);
         if (reduce != nullptr) {
           std::unique_lock<std::mutex> lock(mutex);
-          if (aborted) continue;
-          done[unit % window] = 1;
+          if (truncate_at <= unit) continue;  // truncated at/below: slot irrelevant
+          done[unit % window] = ok ? 1 : 2;
           // Fold every contiguously-completed unit from the watermark up, in
           // canonical order.  Serialised by `mutex`, so reduce() never runs
           // concurrently with itself and the sequence is 0, 1, 2, ... for
-          // every thread count.
+          // every thread count.  Mark 2 (contained unit failure under
+          // kContinue) advances the watermark without folding.
           bool advanced = false;
-          while (watermark < unit_count && done[watermark % window] != 0) {
+          while (watermark < claim_limit && watermark < truncate_at &&
+                 done[watermark % window] != 0) {
+            const bool fold = done[watermark % window] == 1;
             done[watermark % window] = 0;
-            try {
-              (*reduce)(watermark);
-            } catch (...) {
-              abandon_locked();
-              break;
+            if (fold) {
+              try {
+                (*reduce)(watermark);
+              } catch (...) {
+                // A reduce failure truncates under EVERY policy: streaming
+                // state past this point would be half-folded.
+                record_error_locked(watermark, worker_index, /*truncating=*/true);
+                break;
+              }
             }
             ++watermark;
             advanced = true;
@@ -190,7 +277,12 @@ std::size_t SweepExecutor::thread_count() const noexcept {
 }
 
 void SweepExecutor::run(std::size_t unit_count, const UnitFn& fn, std::uint64_t seed) {
-  run_job(unit_count, fn, nullptr, seed, 0);
+  run_job(unit_count, fn, nullptr, nullptr, seed, 0, /*legacy=*/true);
+}
+
+SweepOutcome SweepExecutor::run(std::size_t unit_count, const UnitFn& fn,
+                                const RunControl& control, std::uint64_t seed) {
+  return run_job(unit_count, fn, nullptr, &control, seed, 0, /*legacy=*/false);
 }
 
 std::size_t SweepExecutor::default_ordered_window() const noexcept {
@@ -201,13 +293,23 @@ void SweepExecutor::run_ordered(std::size_t unit_count, const UnitFn& fn,
                                 const ReduceFn& reduce, std::uint64_t seed,
                                 std::size_t window) {
   if (window == 0) window = default_ordered_window();
-  run_job(unit_count, fn, &reduce, seed, window);
+  run_job(unit_count, fn, &reduce, nullptr, seed, window, /*legacy=*/true);
 }
 
-void SweepExecutor::run_job(std::size_t unit_count, const UnitFn& fn,
-                            const ReduceFn* reduce, std::uint64_t seed,
-                            std::size_t window) {
-  if (unit_count == 0) return;
+SweepOutcome SweepExecutor::run_ordered(std::size_t unit_count, const UnitFn& fn,
+                                        const ReduceFn& reduce,
+                                        const RunControl& control,
+                                        std::uint64_t seed, std::size_t window) {
+  if (window == 0) window = default_ordered_window();
+  return run_job(unit_count, fn, &reduce, &control, seed, window, /*legacy=*/false);
+}
+
+SweepOutcome SweepExecutor::run_job(std::size_t unit_count, const UnitFn& fn,
+                                    const ReduceFn* reduce,
+                                    const RunControl* control,
+                                    std::uint64_t seed, std::size_t window,
+                                    bool legacy) {
+  if (unit_count == 0) return SweepOutcome{};
   std::unique_lock<std::mutex> lock(impl_->mutex);
   if (impl_->job_active) {
     throw std::logic_error(
@@ -217,27 +319,84 @@ void SweepExecutor::run_job(std::size_t unit_count, const UnitFn& fn,
   impl_->job_active = true;
   impl_->fn = &fn;
   impl_->unit_count = unit_count;
+  impl_->claim_limit =
+      control == nullptr ? unit_count : std::min(unit_count, control->unit_budget());
   impl_->seed = seed;
   impl_->reduce = reduce;
   impl_->window = window;
   impl_->watermark = 0;
   impl_->done.assign(window, 0);
-  impl_->aborted = false;
+  impl_->control = control;
+  impl_->faults = control == nullptr ? nullptr : control->fault_plan();
+  impl_->policy = (legacy || control == nullptr) ? UnitErrorPolicy::kStop
+                                                 : control->error_policy();
+  impl_->halted.store(false, std::memory_order_relaxed);
+  impl_->saw_cancel = false;
+  impl_->saw_deadline = false;
+  impl_->errors.clear();
+  impl_->error_count = 0;
+  impl_->truncate_at = Impl::kNoTruncation;
+  impl_->lowest_error = nullptr;
+  impl_->lowest_error_unit = Impl::kNoTruncation;
+  impl_->lowest_error_worker = 0;
   impl_->next_unit.store(0, std::memory_order_relaxed);
+  impl_->executed.store(0, std::memory_order_relaxed);
   impl_->idle_workers = 0;
-  impl_->first_error = nullptr;
   ++impl_->generation;
   impl_->work_ready.notify_all();
   impl_->job_done.wait(lock, [&] { return impl_->idle_workers == impl_->workers.size(); });
   impl_->fn = nullptr;
   impl_->reduce = nullptr;
+  impl_->control = nullptr;
+  impl_->faults = nullptr;
   impl_->job_active = false;
-  if (impl_->first_error) {
-    std::exception_ptr error = impl_->first_error;
-    impl_->first_error = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
+
+  SweepOutcome outcome;
+  const bool truncated = impl_->truncate_at != Impl::kNoTruncation;
+  if (reduce != nullptr) {
+    outcome.completed_units = impl_->watermark;
+  } else {
+    outcome.completed_units = truncated
+                                  ? impl_->truncate_at
+                                  : impl_->executed.load(std::memory_order_relaxed);
   }
+  outcome.errors = std::move(impl_->errors);
+  impl_->errors.clear();
+  std::sort(outcome.errors.begin(), outcome.errors.end(),
+            [](const UnitError& a, const UnitError& b) {
+              return a.unit != b.unit ? a.unit < b.unit : a.worker < b.worker;
+            });
+  outcome.error_count = impl_->error_count;
+  if (truncated) {
+    outcome.stop_reason = StopReason::kUnitError;
+  } else if (outcome.completed_units == unit_count) {
+    outcome.stop_reason = StopReason::kCompleted;
+  } else if (impl_->saw_cancel) {
+    outcome.stop_reason = StopReason::kCancelled;
+  } else if (impl_->saw_deadline) {
+    outcome.stop_reason = StopReason::kDeadline;
+  } else {
+    outcome.stop_reason = StopReason::kBudget;  // claim_limit < unit_count
+  }
+
+  if (legacy && impl_->lowest_error) {
+    std::exception_ptr error = impl_->lowest_error;
+    const std::size_t unit = impl_->lowest_error_unit;
+    const std::size_t worker = impl_->lowest_error_worker;
+    impl_->lowest_error = nullptr;
+    lock.unlock();
+    // Rethrow with unit/worker context; std::throw_with_nested attaches the
+    // original so callers can still dig out its concrete type.
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      std::throw_with_nested(SweepUnitError(unit, worker, e.what()));
+    } catch (...) {
+      std::throw_with_nested(SweepUnitError(unit, worker, "unknown exception"));
+    }
+  }
+  impl_->lowest_error = nullptr;
+  return outcome;
 }
 
 }  // namespace pr::sim

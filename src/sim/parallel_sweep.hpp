@@ -22,16 +22,27 @@
 //      order.  Integer counters are order-insensitive anyway; floating-point
 //      accumulators (costs, stretch sums) are not, which is why the merge
 //      order is part of the contract.
+//
+// Robustness contract (PR 8): the controlled overloads taking a RunControl
+// return a SweepOutcome instead of throwing, stop cooperatively at unit
+// boundaries on cancel/deadline/budget, contain per-unit exceptions, and
+// guarantee the surviving results form the canonical prefix [0, k) -- see
+// sim/run_control.hpp for the truncation contract.  The legacy void
+// overloads keep their throwing behaviour, now with unit/worker context
+// attached via SweepUnitError.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "graph/rng.hpp"
 #include "route/scenario_cache.hpp"
 #include "sim/forwarding_engine.hpp"
+#include "sim/run_control.hpp"
 #include "traffic/incidence.hpp"
 #include "traffic/load_map.hpp"
 
@@ -41,6 +52,29 @@ namespace pr::sim {
 /// trips on caller bugs ("-1" parsed through strtoull, uninitialised config)
 /// before they reach the OS as thousands of thread spawns.
 inline constexpr std::size_t kMaxSweepThreads = 4096;
+
+/// Thrown by the legacy (void) run()/run_ordered() overloads when a unit
+/// function throws: carries the failing unit index and the worker that ran
+/// it, with the original exception attached via std::throw_with_nested.
+/// When several in-flight units fail before the pool drains, the LOWEST unit
+/// is the one rethrown, so the surfaced error is deterministic across thread
+/// counts whenever the failure itself is.
+class SweepUnitError : public std::runtime_error {
+ public:
+  SweepUnitError(std::size_t unit, std::size_t worker, const std::string& what)
+      : std::runtime_error("sweep unit " + std::to_string(unit) +
+                           " failed on worker " + std::to_string(worker) +
+                           ": " + what),
+        unit_(unit),
+        worker_(worker) {}
+
+  [[nodiscard]] std::size_t unit() const noexcept { return unit_; }
+  [[nodiscard]] std::size_t worker() const noexcept { return worker_; }
+
+ private:
+  std::size_t unit_;
+  std::size_t worker_;
+};
 
 /// Deterministic stream splitting (splitmix64 over seed ^ f(stream)): the
 /// RNG stream for work unit `stream` of a sweep seeded with `seed`.
@@ -124,9 +158,21 @@ class SweepExecutor {
 
   /// Applies `fn` to every unit in [0, unit_count), dynamically sharded
   /// across the pool; returns when all units finished.  `seed` roots the
-  /// per-unit RNG streams.  If any invocation throws, the remaining units
-  /// are abandoned and the first exception is rethrown here.
+  /// per-unit RNG streams.  If any invocation throws, no new units are
+  /// claimed, in-flight units finish, and the lowest failing unit's
+  /// exception is rethrown here wrapped in SweepUnitError (original
+  /// attached via std::throw_with_nested).
   void run(std::size_t unit_count, const UnitFn& fn, std::uint64_t seed = 0);
+
+  /// Controlled sweep: like run(), but stop signals (cancel, deadline, unit
+  /// budget -- checked cooperatively before each claim), fault injection and
+  /// the error policy come from `control`, and instead of throwing the call
+  /// returns a SweepOutcome whose completed_units is the canonical prefix
+  /// length k: units [0, k) all executed (contained failures listed in
+  /// errors under kContinue), results of any unit >= k must be discarded.
+  /// `control` is read-only here and may be shared with a canceller thread.
+  SweepOutcome run(std::size_t unit_count, const UnitFn& fn,
+                   const RunControl& control, std::uint64_t seed = 0);
 
   /// run() plus a canonical-order streaming reduction: after unit u's
   /// function returns, `reduce(u)` fires once the reductions of every unit
@@ -144,14 +190,27 @@ class SweepExecutor {
   void run_ordered(std::size_t unit_count, const UnitFn& fn, const ReduceFn& reduce,
                    std::uint64_t seed = 0, std::size_t window = 0);
 
+  /// Controlled ordered sweep: run_ordered() under a RunControl.  The reduce
+  /// sequence is exactly 0, 1, ..., completed_units-1 however the sweep
+  /// stops, so streaming reducer state is always a clean canonical prefix --
+  /// the property checkpoint/resume builds on.  Under
+  /// UnitErrorPolicy::kContinue a failed unit's reduce is skipped (the
+  /// watermark steps over it) and the unit still counts toward the prefix;
+  /// reduce() itself throwing always truncates (streaming state is
+  /// potentially half-folded past that point).
+  SweepOutcome run_ordered(std::size_t unit_count, const UnitFn& fn,
+                           const ReduceFn& reduce, const RunControl& control,
+                           std::uint64_t seed = 0, std::size_t window = 0);
+
   /// The window run_ordered(..., window = 0) selects: wide enough to keep
   /// every worker busy across reduction stalls (4 * thread_count(), floor 16).
   /// Callers sizing slot rings should use this.
   [[nodiscard]] std::size_t default_ordered_window() const noexcept;
 
  private:
-  void run_job(std::size_t unit_count, const UnitFn& fn, const ReduceFn* reduce,
-               std::uint64_t seed, std::size_t window);
+  SweepOutcome run_job(std::size_t unit_count, const UnitFn& fn,
+                       const ReduceFn* reduce, const RunControl* control,
+                       std::uint64_t seed, std::size_t window, bool legacy);
 
   struct Impl;
   std::unique_ptr<Impl> impl_;

@@ -1,0 +1,16 @@
+#include "sim/run_control.hpp"
+
+namespace pr::sim {
+
+const char* to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kCompleted: return "completed";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kDeadline: return "deadline";
+    case StopReason::kBudget: return "budget";
+    case StopReason::kUnitError: return "unit-error";
+  }
+  return "unknown";
+}
+
+}  // namespace pr::sim

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "analysis/coverage.hpp"
@@ -97,12 +98,30 @@ TEST(SweepExecutorTest, ReusableAcrossRuns) {
 
 TEST(SweepExecutorTest, PropagatesTheFirstException) {
   SweepExecutor executor(2);
-  EXPECT_THROW(
-      executor.run(20,
-                   [](std::size_t unit, WorkerContext&) {
-                     if (unit == 7) throw std::runtime_error("unit 7 failed");
-                   }),
-      std::runtime_error);
+  // The rethrown error names the failing unit and wraps the original
+  // exception (throw_with_nested), so a million-scenario sweep failure says
+  // WHICH scenario died.
+  try {
+    executor.run(20, [](std::size_t unit, WorkerContext&) {
+      if (unit == 7) throw std::runtime_error("unit 7 failed");
+    });
+    FAIL() << "expected SweepUnitError";
+  } catch (const sim::SweepUnitError& e) {
+    EXPECT_EQ(e.unit(), 7u);
+    EXPECT_LT(e.worker(), 2u);
+    EXPECT_NE(std::string(e.what()).find("sweep unit 7 failed on worker"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("unit 7 failed"), std::string::npos);
+    // The original exception rides along as the nested exception.
+    bool nested_seen = false;
+    try {
+      std::rethrow_if_nested(e);
+    } catch (const std::runtime_error& inner) {
+      nested_seen = true;
+      EXPECT_STREQ(inner.what(), "unit 7 failed");
+    }
+    EXPECT_TRUE(nested_seen);
+  }
   // The pool must survive a failed job.
   std::atomic<std::size_t> ran{0};
   executor.run(4, [&](std::size_t, WorkerContext&) {
@@ -113,14 +132,21 @@ TEST(SweepExecutorTest, PropagatesTheFirstException) {
 
 TEST(SweepExecutorTest, ReentrantRunIsRejectedNotCorrupted) {
   // run() admits one caller at a time; a unit function calling back into
-  // run() must surface std::logic_error (via the job's error channel), not
-  // silently re-shard the in-flight job.
+  // run() must surface the rejection (via the job's error channel, wrapped
+  // with unit context like any other unit failure), not silently re-shard
+  // the in-flight job.
   SweepExecutor executor(2);
-  EXPECT_THROW(executor.run(4,
-                            [&](std::size_t, WorkerContext&) {
-                              executor.run(1, [](std::size_t, WorkerContext&) {});
-                            }),
-               std::logic_error);
+  try {
+    executor.run(4, [&](std::size_t, WorkerContext&) {
+      executor.run(1, [](std::size_t, WorkerContext&) {});
+    });
+    FAIL() << "expected SweepUnitError";
+  } catch (const sim::SweepUnitError& e) {
+    EXPECT_NE(std::string(e.what()).find("already driving a job"),
+              std::string::npos);
+    // The inner std::logic_error is preserved as the nested exception.
+    EXPECT_THROW(std::rethrow_if_nested(e), std::logic_error);
+  }
   // The pool stays usable afterwards.
   std::atomic<std::size_t> ran{0};
   executor.run(3, [&](std::size_t, WorkerContext&) {

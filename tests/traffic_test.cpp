@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "analysis/protocols.hpp"
@@ -14,7 +16,9 @@
 #include "graph/rng.hpp"
 #include "net/failure_model.hpp"
 #include "net/queueing.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/parallel_sweep.hpp"
+#include "sim/run_control.hpp"
 #include "topo/topologies.hpp"
 #include "traffic/capacity.hpp"
 #include "traffic/congestion.hpp"
@@ -605,6 +609,147 @@ TEST(TrafficSweepDeterminismTest, AbileneGravitySingleFailures) {
         analysis::run_traffic_experiment(g, demand, plan, scenarios, protocols,
                                          executor),
         threads);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// demand_from_csv hardening (PR 8): every malformed-input class must throw
+// std::invalid_argument naming the RIGHT line, with no UB on the way (this
+// suite runs under ASan/UBSan in CI).
+
+TEST(DemandCsv, MalformedInputTableNamesLineAndCause) {
+  const auto g = topo::abilene();
+  struct Case {
+    const char* text;
+    const char* line_tag;
+    const char* cause;
+  };
+  const Case cases[] = {
+      // Field-count violations, including separators that never split.
+      {"Seattle,Denver,5,9\n", "line 1", "expected 'src,dst,pps'"},
+      {"Seattle;Denver;5\n", "line 1", "expected 'src,dst,pps'"},
+      {"Seattle,Denver\n", "line 1", "expected 'src,dst,pps'"},
+      // Endpoint resolution, including the empty token.
+      {",Denver,5\n", "line 1", "unknown node ''"},
+      {"Seattle,Atlantis,5\n", "line 1", "unknown node 'Atlantis'"},
+      {"n99,Denver,5\n", "line 1", "unknown node 'n99'"},
+      {"Seattle,Seattle,5\n", "line 1", "self-pair 'Seattle'"},
+      // Rate parsing: junk, trailing junk, and out-of-double-range.
+      {"Seattle,Denver,fast\n", "line 1", "bad rate 'fast'"},
+      {"Seattle,Denver,5x\n", "line 1", "bad rate '5x'"},
+      {"Seattle,Denver,1e999\n", "line 1", "bad rate '1e999'"},
+      {"Seattle,Denver,\n", "line 1", "bad rate ''"},
+      // Parses as a double but is not admissible demand.
+      {"Seattle,Denver,-5\n", "line 1", "rate must be finite and >= 0"},
+      {"Seattle,Denver,nan\n", "line 1", "rate must be finite and >= 0"},
+      {"Seattle,Denver,inf\n", "line 1", "rate must be finite and >= 0"},
+      // Line numbering must count comments and blank lines.
+      {"# header\n\nSeattle,Denver,5\nDenver , Seattle , oops\n", "line 4",
+       "bad rate 'oops'"},
+      {"Seattle,Denver,5\n\n# note\nAtlantis,Denver,1\n", "line 4",
+       "unknown node 'Atlantis'"},
+      {"Seattle,Denver,1\n# again\nSeattle,Denver,2\n", "line 3",
+       "duplicate pair Seattle -> Denver"},
+  };
+  for (const Case& c : cases) {
+    try {
+      (void)traffic::demand_from_csv(g, c.text);
+      FAIL() << "no throw for: " << c.text;
+    } catch (const std::invalid_argument& ex) {
+      const std::string what = ex.what();
+      EXPECT_NE(what.find("demand csv"), std::string::npos) << what;
+      EXPECT_NE(what.find(c.line_tag), std::string::npos)
+          << what << "  input: " << c.text;
+      EXPECT_NE(what.find(c.cause), std::string::npos)
+          << what << "  input: " << c.text;
+    }
+  }
+}
+
+TEST(DemandCsv, SurvivesHostileShapesWithoutUB) {
+  // Inputs chosen to stress the scanner's boundary arithmetic: no trailing
+  // newline, lone separators, CR-LF endings, comment-only and whitespace-only
+  // bodies.  None of these should read out of bounds (ASan is the judge);
+  // the valid ones must parse, the rest throw cleanly.
+  const auto g = topo::abilene();
+  EXPECT_EQ(traffic::demand_from_csv(g, "").total_pps(), 0.0);
+  EXPECT_EQ(traffic::demand_from_csv(g, "\n\n\n").total_pps(), 0.0);
+  EXPECT_EQ(traffic::demand_from_csv(g, "# only a comment").total_pps(), 0.0);
+  EXPECT_EQ(traffic::demand_from_csv(g, "   \t  ").total_pps(), 0.0);
+  // No trailing newline on the last (valid) record.
+  EXPECT_DOUBLE_EQ(
+      traffic::demand_from_csv(g, "Seattle,Denver,5").demand(*g.find_node("Seattle"),
+                                                             *g.find_node("Denver")),
+      5.0);
+  // CR-LF line endings trim cleanly.
+  EXPECT_DOUBLE_EQ(traffic::demand_from_csv(g, "Seattle,Denver,7\r\n")
+                       .demand(*g.find_node("Seattle"), *g.find_node("Denver")),
+                   7.0);
+  // A lone comma line is two empty fields, not a crash.
+  EXPECT_THROW((void)traffic::demand_from_csv(g, ","), std::invalid_argument);
+  EXPECT_THROW((void)traffic::demand_from_csv(g, ",,"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Resilient traffic sweeps: RunControl truncation over enumerated scenarios.
+
+TEST(TrafficResilience, BudgetPrefixMatchesASmallerRun) {
+  const auto g = topo::abilene();
+  const analysis::ProtocolSuite suite(g);
+  const auto demand = traffic::uniform_demand(g, 1e4);
+  const auto plan = CapacityPlan::uniform(g, 1e4);
+  const auto scenarios = net::all_single_failures(g);
+  ASSERT_GT(scenarios.size(), 7u);
+  const std::vector<analysis::NamedFactory> protocols = {suite.reconvergence(),
+                                                         suite.pr()};
+
+  const auto want = analysis::run_traffic_experiment(
+      g, demand, plan,
+      std::span<const graph::EdgeSet>(scenarios).first(7), protocols);
+
+  for (const std::size_t threads : {1U, 2U, 8U}) {
+    sim::SweepExecutor executor(threads);
+    sim::RunControl control;
+    control.set_unit_budget(7);
+    const auto run = analysis::run_traffic_experiment_resilient(
+        g, demand, plan, scenarios, protocols, executor, control);
+    EXPECT_EQ(run.outcome.stop_reason, sim::StopReason::kBudget);
+    EXPECT_EQ(run.outcome.completed_units, 7u);
+    EXPECT_FALSE(run.complete());
+    expect_identical_traffic(want, run.result, threads);
+  }
+}
+
+TEST(TrafficResilience, InjectedFailureIsContainedWithContext) {
+  const auto g = topo::abilene();
+  const analysis::ProtocolSuite suite(g);
+  const auto demand = traffic::uniform_demand(g, 1e4);
+  const auto plan = CapacityPlan::uniform(g, 1e4);
+  const auto scenarios = net::all_single_failures(g);
+  const std::vector<analysis::NamedFactory> protocols = {suite.reconvergence()};
+
+  sim::SweepExecutor executor(2);
+  sim::RunControl control;
+  sim::FaultPlan faults;
+  faults.throw_in_unit(3);
+  control.set_fault_plan(&faults);
+  const auto run = analysis::run_traffic_experiment_resilient(
+      g, demand, plan, scenarios, protocols, executor, control);
+  EXPECT_EQ(run.outcome.stop_reason, sim::StopReason::kUnitError);
+  EXPECT_EQ(run.outcome.completed_units, 3u);
+  EXPECT_EQ(run.result.scenarios, 3u);
+  ASSERT_NE(run.outcome.first_error(), nullptr);
+  EXPECT_EQ(run.outcome.first_error()->unit, 3u);
+  EXPECT_NE(run.outcome.first_error()->what.find("injected fault"),
+            std::string::npos);
+
+  // The legacy throwing overload reports the same context in its exception.
+  try {
+    (void)analysis::run_traffic_experiment(g, demand, plan, scenarios, protocols,
+                                           executor);
+    SUCCEED();  // no control, no faults: completes
+  } catch (...) {
+    FAIL() << "uncontrolled run must not throw without a fault plan";
   }
 }
 

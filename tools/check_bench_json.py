@@ -64,6 +64,12 @@ REQUIRED_KEYS = {
         "utilization_quantiles",
         "stretch_quantiles",
         "worst",
+        # Resilience section (deadline + checkpoint/resume leg).
+        "resilience",
+        "stop_reason",
+        "completed_units",
+        "resumed",
+        "bit_identical_after_resume",
         "peak_rss_mb",
     ],
 }

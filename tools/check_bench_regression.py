@@ -28,17 +28,34 @@ def load(path):
 
 
 def throughputs(doc, path):
+    """Extracts {metric name: scenarios/sec} from a bench document.
+
+    Tolerant of schema growth in either direction: entries missing the
+    throughput key (e.g. a baseline captured before a bench gained new
+    sections or columns) are skipped rather than KeyError'd, and unknown
+    extra keys are ignored.  Only a document with NO usable throughput
+    figure at all is an error.
+    """
     bench = doc.get("bench")
     if bench == "failure_storms":
         curve = doc.get("threads") or []
-        if not curve:
-            raise SystemExit(f"check_bench_regression: {path} has an empty thread curve")
-        return {"best_threads": max(t["scenarios_per_second"] for t in curve)}
+        rates = [t["scenarios_per_second"] for t in curve
+                 if isinstance(t, dict) and "scenarios_per_second" in t]
+        if not rates:
+            raise SystemExit(
+                f"check_bench_regression: {path} has no thread-curve "
+                f"scenarios_per_second figures")
+        return {"best_threads": max(rates)}
     if bench == "backbone":
         scales = doc.get("scales") or []
-        if not scales:
-            raise SystemExit(f"check_bench_regression: {path} has no scales")
-        return {s["name"]: s["scenarios_per_second"] for s in scales}
+        out = {s["name"]: s["scenarios_per_second"] for s in scales
+               if isinstance(s, dict)
+               and "name" in s and "scenarios_per_second" in s}
+        if not out:
+            raise SystemExit(
+                f"check_bench_regression: {path} has no per-scale "
+                f"scenarios_per_second figures")
+        return out
     raise SystemExit(
         f"check_bench_regression: no throughput metric registered for bench "
         f"'{bench}' ({path})")
