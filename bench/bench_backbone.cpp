@@ -26,10 +26,21 @@
 //         "batched_ms": ..., "repair_speedup": ...,
 //         "scenarios_per_second": ...,
 //         "threads": [ { "threads": T, "ms": ..., "speedup": ... }, ... ],
-//         "batch_width": [ { "width": W, "per_scenario_ms": ... }, ... ] },
+//         "batch_width": [ { "width": W, "per_scenario_ms": ... }, ... ],
+//         "phase_ms": { "verify": ..., "legacy": ..., "batched": ...,
+//           "threads": ..., "batch_width": ... }, "peak_rss_mb": ... },
 //       ... ],
-//     "largest_scale_repair_speedup": ..., "peak_rss_mb": ...
+//     "largest_scale_repair_speedup": ...,
+//     "telemetry": { "cache_hit_rate": ..., "repair_fraction": ...,
+//       "counters": {...}, "phases": {...}, "per_worker": [...] },
+//     "peak_rss_mb": ...
 //   }
+//
+// Each scale row carries its own peak-RSS watermark and per-phase wall times
+// (verify / legacy / batched / threads / batch-width), so a memory or time
+// blow-up is attributable to a scale and phase, not just the process total.
+// The telemetry section aggregates obs counters from the thread-curve
+// executors (cache hit rate, SPF repair fraction, per-worker utilization).
 //
 // Timings are the best of R repetitions (batch-width curves are cold-start
 // by design and measured once).
@@ -54,6 +65,7 @@
 #include "graph/generators.hpp"
 #include "graph/rng.hpp"
 #include "graph/spf_workspace.hpp"
+#include "obs/telemetry.hpp"
 #include "route/routing_db.hpp"
 #include "route/scenario_cache.hpp"
 #include "sim/parallel_sweep.hpp"
@@ -77,6 +89,13 @@ double best_ms(std::size_t repetitions, const std::function<void()>& work) {
 }
 
 double once_ms(const std::function<void()>& work) { return best_ms(1, work); }
+
+double elapsed_ms(Clock::time_point start) {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                 Clock::now() - start)
+                                 .count()) /
+         1e3;
+}
 
 /// Sampled-row digest of a routing table: cheap enough to run per scenario
 /// inside timed loops, sensitive enough that any next-hop or cost divergence
@@ -177,6 +196,12 @@ int main(int argc, char** argv) {
        << ",\n  \"scales\": [";
 
   double largest_speedup = 0.0;
+  // Shared across scales: the thread-curve executors attribute SPF repairs,
+  // cache builds, and per-worker busy time into this registry; the aggregate
+  // becomes the JSON telemetry section.  elapsed accumulates executor wall
+  // time so per-worker utilization has a denominator.
+  obs::Registry registry;
+  double telemetry_elapsed_ms = 0.0;
   bool first_scale = true;
   for (const std::size_t target : scales) {
     graph::Rng topo_rng(0xB0B0 + target);
@@ -195,6 +220,7 @@ int main(int argc, char** argv) {
     route::RoutingDb legacy_db(g);
     graph::SpfWorkspace ws;
     graph::SpfWorkspace legacy_ws;
+    const auto verify_t0 = Clock::now();
     const std::size_t deep = n <= 512 ? scenarios.size()
                                       : std::min<std::size_t>(2, scenarios.size());
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -211,17 +237,23 @@ int main(int argc, char** argv) {
       }
     }
 
+    const double verify_wall_ms = elapsed_ms(verify_t0);
+
     // Repair-drive throughput: whole scenario set per timing, warm state.
+    const auto legacy_t0 = Clock::now();
     const double legacy_ms = best_ms(repetitions, [&] {
       for (const auto& s : scenarios) {
         legacy_db.rebuild(s, legacy_ws, route::RepairDrive::kPerDestination);
       }
     });
+    const double legacy_wall_ms = elapsed_ms(legacy_t0);
+    const auto batched_t0 = Clock::now();
     const double batched_ms = best_ms(repetitions, [&] {
       for (const auto& s : scenarios) {
         batched_db.rebuild(s, ws, route::RepairDrive::kBatchedTrees);
       }
     });
+    const double batched_wall_ms = elapsed_ms(batched_t0);
     const double speedup = batched_ms > 0 ? legacy_ms / batched_ms : 0.0;
     largest_speedup = speedup;  // scales ascend; last write wins
     const double scen_per_s =
@@ -241,7 +273,9 @@ int main(int argc, char** argv) {
 
     // Thread-scaling curve.  Each worker owns a full warm RoutingDb, so the
     // pool memory is threads * table_mb -- priced out above 1k nodes.
+    double threads_wall_ms = 0.0;
     if (n <= 1024) {
+      const auto threads_t0 = Clock::now();
       std::vector<std::uint64_t> serial_digests(scenarios.size());
       {
         route::ScenarioRoutingCache cache;
@@ -255,6 +289,7 @@ int main(int argc, char** argv) {
       for (const std::size_t threads : {1U, 2U, 4U, 8U}) {
         if (threads_cap != 0 && threads > threads_cap) break;
         sim::SweepExecutor executor(threads);
+        executor.set_telemetry(sim::SweepTelemetry{&registry, nullptr, nullptr});
         std::vector<std::uint64_t> digests(scenarios.size(), 0);
         const auto sweep = [&](std::size_t unit, sim::WorkerContext& ctx) {
           digests[unit] = table_digest(ctx.routes.tables(g, scenarios[unit]));
@@ -273,11 +308,14 @@ int main(int argc, char** argv) {
         first_threads = false;
       }
       json << "\n      ]";
+      threads_wall_ms = elapsed_ms(threads_t0);
+      telemetry_elapsed_ms += threads_wall_ms;
     }
 
     // Batch-width amortisation: a fresh cache pays the pristine build plus
     // incremental-state preparation once, then each further scenario in the
     // batch costs only its repair.  Cold by construction, measured once.
+    const auto width_t0 = Clock::now();
     json << ",\n      \"batch_width\": [";
     bool first_width = true;
     for (const std::size_t width : {1U, 4U, 16U, 64U}) {
@@ -295,10 +333,20 @@ int main(int argc, char** argv) {
       first_width = false;
       if (w < width) break;  // scenario set exhausted
     }
-    json << "\n      ] }";
+    json << "\n      ]";
+
+    // Per-scale attribution: phase wall times (total wall spent in a section,
+    // repetitions included -- not the best-of timing above) and the RSS
+    // watermark after this scale finished.
+    json << ",\n      \"phase_ms\": { \"verify\": " << verify_wall_ms
+         << ", \"legacy\": " << legacy_wall_ms << ", \"batched\": "
+         << batched_wall_ms << ", \"threads\": " << threads_wall_ms
+         << ", \"batch_width\": " << elapsed_ms(width_t0)
+         << " },\n      \"peak_rss_mb\": " << peak_rss_mb() << " }";
   }
 
   json << "\n  ],\n  \"largest_scale_repair_speedup\": " << largest_speedup
+       << ",\n  \"telemetry\": " << obs::telemetry_json(registry, telemetry_elapsed_ms)
        << ",\n  \"peak_rss_mb\": " << peak_rss_mb() << "\n}\n";
 
   std::cout << json.str();

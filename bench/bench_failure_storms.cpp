@@ -56,12 +56,14 @@
 //                            [top_k 1..100]
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -71,6 +73,9 @@
 #include "analysis/storm.hpp"
 #include "analysis/traffic.hpp"
 #include "net/storm_model.hpp"
+#include "obs/progress.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_log.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/parallel_sweep.hpp"
 #include "sim/run_control.hpp"
@@ -407,6 +412,80 @@ int main(int argc, char** argv) {
   }
   json << "\n  ]";
 
+  // -- Section 3b: telemetry -- attach the obs layer, prove enabled ==
+  // disabled bit for bit, and measure its overhead on the same warmed pool.
+  // The progress line is opt-in (PR_PROGRESS=<ms>); the stall detector
+  // (PR_STALL_MS, default 5 s) always reports to stderr because a stall is
+  // exceptional by definition.
+  obs::Registry registry;
+  obs::TraceLog trace(1 << 16);
+  obs::SweepProgress progress(obs::SweepProgress::options_from_env());
+  if (std::getenv("PR_PROGRESS") != nullptr) {
+    progress.on_snapshot([](const obs::ProgressSnapshot& s) {
+      std::cerr << obs::SweepProgress::format_line(s) << "\n";
+    });
+  }
+  progress.on_stall([](const obs::StallEvent& e) {
+    std::cerr << "stall: worker " << e.worker << " unit " << e.unit
+              << " in-flight " << e.in_flight_ns / 1000000 << " ms\n";
+  });
+
+  double telemetry_ms = 0.0;
+  double overhead_fraction = 0.0;
+  {
+    sim::SweepExecutor executor(threads_cap);
+    // Untimed warmup so neither leg pays the cold per-worker cache builds,
+    // then interleaved best-of-2 plain/observed passes: interleaving cancels
+    // machine drift, best-of cancels one-off scheduling noise.  A single
+    // cold-vs-warm pair can misreport the sub-1% real cost by several
+    // percent either way.
+    const auto warmup =
+        analysis::run_storm_experiment(g, demand, plan, model, protocols, config, executor);
+    require_identical(reference, warmup, threads_cap);
+
+    double plain_ms = std::numeric_limits<double>::infinity();
+    telemetry_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 2; ++rep) {
+      executor.set_telemetry(sim::SweepTelemetry{});
+      auto t0 = Clock::now();
+      const auto plain =
+          analysis::run_storm_experiment(g, demand, plan, model, protocols, config, executor);
+      plain_ms = std::min(plain_ms, elapsed_ms(t0));
+      require_identical(reference, plain, threads_cap);
+
+      registry.reset();
+      trace.clear();
+      executor.set_telemetry(sim::SweepTelemetry{&registry, &trace, &progress});
+      t0 = Clock::now();
+      const auto observed =
+          analysis::run_storm_experiment(g, demand, plan, model, protocols, config, executor);
+      telemetry_ms = std::min(telemetry_ms, elapsed_ms(t0));
+      require_identical(reference, observed, threads_cap);
+    }
+    overhead_fraction = plain_ms > 0.0 ? (telemetry_ms - plain_ms) / plain_ms : 0.0;
+
+    const obs::Counters total = registry.aggregate();
+    const std::uint64_t hits = total.get(obs::Counter::kRouteCacheHits);
+    const std::uint64_t lookups = hits + total.get(obs::Counter::kRouteCacheRebuilds) +
+                                  total.get(obs::Counter::kRouteCachePristineBuilds);
+    const std::uint64_t repairs = total.get(obs::Counter::kSpfRepairs) +
+                                  total.get(obs::Counter::kSpfTreeRepairs);
+    const std::uint64_t spf_ops = repairs + total.get(obs::Counter::kSpfFullBuilds);
+    std::cout << "-- Telemetry: enabled run bit-identical to disabled, overhead "
+              << std::setprecision(2) << overhead_fraction * 100.0 << "% ("
+              << std::setprecision(0) << plain_ms << " -> " << telemetry_ms
+              << " ms); cache hit rate " << std::setprecision(3)
+              << (lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                              : 0.0)
+              << ", SPF repair fraction "
+              << (spf_ops > 0 ? static_cast<double>(repairs) / static_cast<double>(spf_ops)
+                              : 0.0)
+              << ", " << trace.size() << " trace spans --\n\n";
+  }
+  json << ",\n  \"telemetry\": " << obs::telemetry_json(registry, telemetry_ms)
+       << ",\n  \"telemetry_overhead_fraction\": " << overhead_fraction
+       << ",\n  \"telemetry_bit_identical\": true";
+
   // -- Section 4: resilience -- interrupt the sweep, checkpoint, resume, and
   // require the resumed reducers bit-identical to the uninterrupted
   // reference.  A fault plan from the PR_FAULT_* environment (CI's
@@ -416,6 +495,14 @@ int main(int argc, char** argv) {
   // exactly the Section 2 reference.
   {
     sim::SweepExecutor executor(threads_cap);
+    // The obs layer stays attached through the fault/deadline legs: injected
+    // stalls exercise the stall detector, and the trace picks up fault,
+    // truncation and checkpoint events for PR_TRACE_EXPORT.  Checkpoint
+    // serialization runs on THIS driver thread, so it gets its own registry
+    // lane (one past the workers) as the scoped sink.
+    executor.set_telemetry(sim::SweepTelemetry{&registry, &trace, &progress});
+    registry.ensure_workers(executor.thread_count() + 1);
+    obs::ScopedSink driver_sink(&registry.worker(executor.thread_count()));
     const sim::FaultPlan faults = sim::FaultPlan::from_env();
 
     sim::RunControl control;
@@ -487,5 +574,12 @@ int main(int argc, char** argv) {
   out << json.str();
   std::cerr << "wrote BENCH_failure_storms.json (peak RSS " << peak_rss_mb()
             << " MB)\n";
+
+  if (const char* path = std::getenv("PR_TRACE_EXPORT"); path != nullptr && *path != '\0') {
+    std::ofstream trace_out(path);
+    trace_out << trace.export_chrome_json();
+    std::cerr << "wrote chrome://tracing export (" << trace.size() << " spans, "
+              << trace.dropped() << " dropped) to " << path << "\n";
+  }
   return 0;
 }

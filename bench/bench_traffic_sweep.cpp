@@ -28,7 +28,9 @@
 //         "protocols": [
 //         { "protocol": "Packet Re-cycling", "worst_max_utilization": ...,
 //           "overloaded_links": ..., "stranded_pps": ...,
-//           "rerouted_flows": ..., ... }, ... ] }, ... ] } ] }
+//           "rerouted_flows": ..., ... }, ... ] }, ... ] } ],
+//     "telemetry": { "cache_hit_rate": ..., "affected_flow_fraction": ...,
+//       "counters": {...}, "phases": {...}, "per_worker": [...] } }
 //
 //   $ ./bench_traffic_sweep [threads] [dual-scenario cap, 0 = none]
 #include <algorithm>
@@ -44,6 +46,7 @@
 #include "analysis/protocols.hpp"
 #include "analysis/traffic.hpp"
 #include "net/failure_model.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/parallel_sweep.hpp"
 #include "topo/topologies.hpp"
 #include "traffic/capacity.hpp"
@@ -147,6 +150,12 @@ int main(int argc, char** argv) {
   }
 
   sim::SweepExecutor executor(threads);
+  // Telemetry rides along on every sweep (warmups and serial-reference runs
+  // included): route-cache hit rate, affected-flow fractions, forwarding hop
+  // counts, and per-worker utilization all land in the JSON.
+  obs::Registry registry;
+  executor.set_telemetry(sim::SweepTelemetry{&registry, nullptr, nullptr});
+  const auto bench_t0 = Clock::now();
   std::cout << "traffic sweep: gravity demand " << kTotalDemandPps
             << " pps, capacity sized for " << kBaselineUtilization
             << " pristine peak utilization, " << executor.thread_count()
@@ -285,7 +294,8 @@ int main(int argc, char** argv) {
     }
     json << "\n      ] }";
   }
-  json << "\n  ]\n}\n";
+  json << "\n  ],\n  \"telemetry\": "
+       << obs::telemetry_json(registry, elapsed_ms(bench_t0)) << "\n}\n";
 
   std::ofstream out("BENCH_traffic_sweep.json");
   out << json.str();

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "obs/telemetry.hpp"
+
 namespace pr::analysis {
 namespace {
 
@@ -37,7 +39,10 @@ std::uint64_t read_u64(std::string_view bytes, std::size_t at) noexcept {
 
 }  // namespace
 
-CheckpointWriter::CheckpointWriter() { buffer_.append(kMagic); }
+CheckpointWriter::CheckpointWriter() {
+  buffer_.append(kMagic);
+  if (obs::enabled()) obs_start_ns_ = obs::now_ns();
+}
 
 void CheckpointWriter::u32(std::uint32_t value) {
   for (int shift = 0; shift < 32; shift += 8) {
@@ -62,6 +67,13 @@ std::string CheckpointWriter::finish() {
   }
   finished_ = true;
   append_u64(buffer_, fnv1a(buffer_));
+  if (obs::Counters* s = obs::sink(); s != nullptr) {
+    s->add(obs::Counter::kCheckpoints);
+    s->add(obs::Counter::kCheckpointBytes, buffer_.size());
+    if (obs_start_ns_ != 0) {
+      s->add_phase(obs::Phase::kCheckpoint, obs::now_ns() - obs_start_ns_);
+    }
+  }
   return std::move(buffer_);
 }
 

@@ -52,6 +52,9 @@ class CheckpointWriter {
  private:
   std::string buffer_;
   bool finished_ = false;
+  /// Construction timestamp when a telemetry sink is installed (0 otherwise):
+  /// finish() attributes the whole construct-to-seal span to Phase::kCheckpoint.
+  std::uint64_t obs_start_ns_ = 0;
 };
 
 /// Sequential field reader over a sealed blob.  The constructor validates

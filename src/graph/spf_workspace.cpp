@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace pr::graph {
 
 namespace {
@@ -64,6 +66,7 @@ void SpfWorkspace::full_build(const Graph& g, NodeId destination,
   if (destination >= g.node_count()) {
     throw std::out_of_range("SpfWorkspace::full_build: destination out of range");
   }
+  obs::count(obs::Counter::kSpfFullBuilds);
   const std::size_t n = g.node_count();
   std::fill_n(dist, n, kUnreachable);
   std::fill_n(hops, n, kNoHops);
@@ -81,6 +84,7 @@ void SpfWorkspace::repair(const Graph& g, NodeId destination, const EdgeSet& exc
     throw std::out_of_range("SpfWorkspace::repair: destination out of range");
   }
   if (excluded.empty()) return;  // pristine columns already correct
+  obs::count(obs::Counter::kSpfRepairs);
   const std::size_t n = g.node_count();
 
   // 1. Classify every node: a node is orphaned exactly when its pristine tree
@@ -225,6 +229,8 @@ std::span<const NodeId> SpfWorkspace::repair_tree(const Graph& g,
   }
   run_impl(g, &excluded, dist, hops, next_dart,
            [this, orphan_mark](NodeId u) { return stamp_[u] != orphan_mark; });
+  obs::count(obs::Counter::kSpfTreeRepairs);
+  obs::count(obs::Counter::kSpfOrphanNodes, orphans_.size());
   return orphans_;
 }
 

@@ -1,0 +1,153 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pr::obs {
+
+SweepProgress::SweepProgress() : SweepProgress(Options{}) {}
+
+SweepProgress::SweepProgress(Options options) : options_(options) {}
+
+SweepProgress::Options SweepProgress::options_from_env() {
+  Options o;
+  if (const char* v = std::getenv("PR_PROGRESS"); v != nullptr && *v != '\0') {
+    const long ms = std::strtol(v, nullptr, 10);
+    if (ms > 0) o.interval_ns = static_cast<std::uint64_t>(ms) * 1'000'000u;
+  }
+  if (const char* v = std::getenv("PR_STALL_MS"); v != nullptr && *v != '\0') {
+    const long ms = std::strtol(v, nullptr, 10);
+    if (ms > 0) o.stall_after_ns = static_cast<std::uint64_t>(ms) * 1'000'000u;
+  }
+  return o;
+}
+
+void SweepProgress::on_snapshot(std::function<void(const ProgressSnapshot&)> cb) {
+  snapshot_cb_ = std::move(cb);
+}
+
+void SweepProgress::on_stall(std::function<void(const StallEvent&)> cb) {
+  stall_cb_ = std::move(cb);
+}
+
+void SweepProgress::begin_job(std::size_t workers, std::uint64_t units_total,
+                              std::uint64_t now_ns) {
+  // Lane count only grows; atomics are not movable, so replace wholesale
+  // when a bigger pool shows up.
+  if (lanes_.size() < workers) {
+    std::vector<Lane> bigger(workers);
+    lanes_.swap(bigger);
+  }
+  for (Lane& lane : lanes_) {
+    lane.units_done.store(0, std::memory_order_relaxed);
+    lane.busy_ns.store(0, std::memory_order_relaxed);
+    lane.claim_ns.store(0, std::memory_order_relaxed);
+    lane.claim_unit.store(0, std::memory_order_relaxed);
+    lane.reported_stall_claim = 0;
+  }
+  job_start_ns_ = now_ns;
+  units_total_ = units_total;
+  stalls_detected_ = 0;
+}
+
+void SweepProgress::unit_started(std::size_t worker, std::uint64_t unit,
+                                 std::uint64_t now_ns) noexcept {
+  if (worker >= lanes_.size()) return;
+  Lane& lane = lanes_[worker];
+  lane.claim_unit.store(unit, std::memory_order_relaxed);
+  lane.claim_ns.store(now_ns, std::memory_order_relaxed);
+}
+
+void SweepProgress::unit_finished(std::size_t worker, std::uint64_t now_ns) noexcept {
+  if (worker >= lanes_.size()) return;
+  Lane& lane = lanes_[worker];
+  const std::uint64_t claimed = lane.claim_ns.load(std::memory_order_relaxed);
+  if (claimed != 0 && now_ns > claimed) {
+    lane.busy_ns.fetch_add(now_ns - claimed, std::memory_order_relaxed);
+  }
+  lane.claim_ns.store(0, std::memory_order_relaxed);
+  lane.units_done.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SweepProgress::end_job(std::uint64_t now_ns) noexcept {
+  (void)now_ns;
+  for (Lane& lane : lanes_) lane.claim_ns.store(0, std::memory_order_relaxed);
+}
+
+ProgressSnapshot SweepProgress::snapshot(std::uint64_t now_ns) const {
+  ProgressSnapshot s;
+  s.now_ns = now_ns;
+  s.job_start_ns = job_start_ns_;
+  s.units_total = units_total_;
+  s.utilization.reserve(lanes_.size());
+  const std::uint64_t elapsed =
+      now_ns > job_start_ns_ ? now_ns - job_start_ns_ : 0;
+  for (const Lane& lane : lanes_) {
+    s.units_done += lane.units_done.load(std::memory_order_relaxed);
+    std::uint64_t busy = lane.busy_ns.load(std::memory_order_relaxed);
+    const std::uint64_t claimed = lane.claim_ns.load(std::memory_order_relaxed);
+    if (claimed != 0) {
+      ++s.in_flight;
+      if (now_ns > claimed) busy += now_ns - claimed;
+    }
+    s.utilization.push_back(
+        elapsed == 0 ? 0.0 : static_cast<double>(busy) / static_cast<double>(elapsed));
+  }
+  if (elapsed > 0) {
+    s.units_per_sec = static_cast<double>(s.units_done) * 1e9 / static_cast<double>(elapsed);
+    if (s.units_total > s.units_done && s.units_per_sec > 0.0) {
+      s.eta_sec = static_cast<double>(s.units_total - s.units_done) / s.units_per_sec;
+    }
+  }
+  return s;
+}
+
+void SweepProgress::tick(std::uint64_t now_ns) {
+  if (snapshot_cb_) snapshot_cb_(snapshot(now_ns));
+  if (options_.stall_after_ns == 0) return;
+  for (std::size_t w = 0; w < lanes_.size(); ++w) {
+    Lane& lane = lanes_[w];
+    const std::uint64_t claimed = lane.claim_ns.load(std::memory_order_relaxed);
+    if (claimed == 0 || now_ns <= claimed) continue;
+    const std::uint64_t in_flight = now_ns - claimed;
+    if (in_flight < options_.stall_after_ns) continue;
+    if (lane.reported_stall_claim == claimed) continue;  // already reported
+    lane.reported_stall_claim = claimed;
+    ++stalls_detected_;
+    if (stall_cb_) {
+      StallEvent e;
+      e.worker = w;
+      e.unit = lane.claim_unit.load(std::memory_order_relaxed);
+      e.in_flight_ns = in_flight;
+      stall_cb_(e);
+    }
+  }
+}
+
+std::string SweepProgress::format_line(const ProgressSnapshot& s) {
+  double util_sum = 0.0;
+  for (double u : s.utilization) util_sum += u;
+  const double util_avg =
+      s.utilization.empty() ? 0.0 : util_sum / static_cast<double>(s.utilization.size());
+  char buf[256];
+  int len;
+  if (s.units_total > 0) {
+    const double pct =
+        100.0 * static_cast<double>(s.units_done) / static_cast<double>(s.units_total);
+    len = std::snprintf(buf, sizeof buf,
+                        "progress: %llu/%llu units (%.1f%%) %.1f units/s eta %.1fs "
+                        "busy %zu/%zu util %.2f",
+                        static_cast<unsigned long long>(s.units_done),
+                        static_cast<unsigned long long>(s.units_total), pct,
+                        s.units_per_sec, s.eta_sec, s.in_flight, s.utilization.size(),
+                        util_avg);
+  } else {
+    len = std::snprintf(buf, sizeof buf,
+                        "progress: %llu units %.1f units/s busy %zu/%zu util %.2f",
+                        static_cast<unsigned long long>(s.units_done), s.units_per_sec,
+                        s.in_flight, s.utilization.size(), util_avg);
+  }
+  return std::string(buf, len > 0 ? static_cast<std::size_t>(len) : 0);
+}
+
+}  // namespace pr::obs

@@ -1,0 +1,97 @@
+#include "obs/trace_log.hpp"
+
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pr::obs {
+
+const char* to_string(SpanKind k) noexcept {
+  switch (k) {
+    case SpanKind::kUnit: return "unit";
+    case SpanKind::kReduce: return "reduce";
+    case SpanKind::kCheckpoint: return "checkpoint";
+    case SpanKind::kFault: return "fault";
+    case SpanKind::kStall: return "stall";
+    case SpanKind::kTruncate: return "truncate";
+  }
+  return "unknown";
+}
+
+TraceLog::TraceLog(std::size_t capacity) : spans_(capacity == 0 ? 1 : capacity) {}
+
+void TraceLog::record(const TraceSpan& span) noexcept {
+  const std::uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= spans_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_[slot] = span;
+}
+
+void TraceLog::record_instant(SpanKind kind, std::uint32_t worker, std::uint64_t unit,
+                              std::uint64_t detail) noexcept {
+  TraceSpan s;
+  s.kind = kind;
+  s.worker = worker;
+  s.unit = unit;
+  s.start_ns = s.end_ns = now_ns();
+  s.detail = detail;
+  record(s);
+}
+
+std::size_t TraceLog::size() const noexcept {
+  return std::min<std::uint64_t>(next_.load(std::memory_order_relaxed), spans_.size());
+}
+
+void TraceLog::clear() noexcept {
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceLog::export_chrome_json() const {
+  const std::size_t n = size();
+  std::uint64_t epoch = UINT64_MAX;
+  for (std::size_t i = 0; i < n; ++i) epoch = std::min(epoch, spans_[i].start_ns);
+  if (n == 0) epoch = 0;
+
+  std::string out;
+  out.reserve(n * 128 + 256);
+  out += "{\"traceEvents\": [\n";
+  char buf[320];
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceSpan& s = spans_[i];
+    const double ts_us = static_cast<double>(s.start_ns - epoch) / 1e3;
+    const bool instant = s.end_ns <= s.start_ns;
+    int len;
+    if (instant) {
+      len = std::snprintf(buf, sizeof buf,
+                          "  {\"name\": \"%s\", \"ph\": \"i\", \"s\": \"t\", "
+                          "\"ts\": %.3f, \"pid\": 1, \"tid\": %u, "
+                          "\"args\": {\"unit\": %llu, \"detail\": %llu}}",
+                          to_string(s.kind), ts_us, s.worker,
+                          static_cast<unsigned long long>(s.unit),
+                          static_cast<unsigned long long>(s.detail));
+    } else {
+      const double dur_us = static_cast<double>(s.end_ns - s.start_ns) / 1e3;
+      len = std::snprintf(buf, sizeof buf,
+                          "  {\"name\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, "
+                          "\"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+                          "\"args\": {\"unit\": %llu, \"detail\": %llu}}",
+                          to_string(s.kind), ts_us, dur_us, s.worker,
+                          static_cast<unsigned long long>(s.unit),
+                          static_cast<unsigned long long>(s.detail));
+    }
+    if (len > 0) out.append(buf, static_cast<std::size_t>(len));
+    out += i + 1 < n ? ",\n" : "\n";
+  }
+  out += "],\n";
+  char tail[96];
+  const int len = std::snprintf(tail, sizeof tail, "\"dropped\": %llu}\n",
+                                static_cast<unsigned long long>(dropped()));
+  if (len > 0) out.append(tail, static_cast<std::size_t>(len));
+  return out;
+}
+
+}  // namespace pr::obs

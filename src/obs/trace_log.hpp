@@ -1,0 +1,83 @@
+// Bounded in-memory span log of sweep lifecycle events, exportable as
+// chrome://tracing JSON.
+//
+// Workers record fixed-size spans (unit execution, canonical reduce,
+// checkpoint serialization, injected faults, stall detections, truncation)
+// into a preallocated ring: recording is one atomic fetch_add to claim a slot
+// plus plain stores into it -- no locks, no allocation, and nothing the sweep
+// results can observe.  When the ring fills, further spans are counted in
+// `dropped()` rather than blocking or resizing, so tracing a million-scenario
+// storm costs a fixed memory budget.
+//
+// Reads (export, iteration) are only valid after the producing job has
+// completed -- SweepExecutor::run joins all workers before returning, which
+// gives the happens-before edge; TraceLog itself does not synchronise readers
+// against in-flight writers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pr::obs {
+
+enum class SpanKind : std::uint8_t {
+  kUnit,        ///< one sweep unit, claim to completion
+  kReduce,      ///< canonical-order reduce fold for one unit
+  kCheckpoint,  ///< checkpoint blob serialization
+  kFault,       ///< injected fault fired (throw/stall/malformed)
+  kStall,       ///< stall detector flagged a worker
+  kTruncate,    ///< sweep truncated to canonical prefix [0, detail)
+};
+
+[[nodiscard]] const char* to_string(SpanKind k) noexcept;
+
+struct TraceSpan {
+  SpanKind kind = SpanKind::kUnit;
+  std::uint32_t worker = 0;    ///< recording worker lane (driver threads use 0)
+  std::uint64_t unit = 0;      ///< sweep unit index (or kind-specific id)
+  std::uint64_t start_ns = 0;  ///< obs::now_ns at span start
+  std::uint64_t end_ns = 0;    ///< obs::now_ns at span end (== start for instants)
+  std::uint64_t detail = 0;    ///< kind-specific payload (bytes, prefix, ...)
+};
+
+class TraceLog {
+ public:
+  /// `capacity` spans are preallocated up front; record() never allocates.
+  explicit TraceLog(std::size_t capacity = 1 << 16);
+
+  /// Claims a slot and stores `span`; counts a drop instead when full.
+  /// Safe to call concurrently from any number of threads.
+  void record(const TraceSpan& span) noexcept;
+
+  /// Convenience for zero-duration marker events.
+  void record_instant(SpanKind kind, std::uint32_t worker, std::uint64_t unit,
+                      std::uint64_t detail = 0) noexcept;
+
+  /// Spans recorded so far, capped at capacity.  Post-join read only.
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept { return spans_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const TraceSpan& span(std::size_t i) const { return spans_[i]; }
+
+  /// Drops all recorded spans (post-join only); capacity is kept.
+  void clear() noexcept;
+
+  /// chrome://tracing "traceEvents" JSON.  Durations become complete ("ph":
+  /// "X") events, instants become "i" events; timestamps are microseconds
+  /// relative to the earliest recorded span so the viewer opens at t=0.
+  /// Worker lanes map to tids.  Load via chrome://tracing or
+  /// https://ui.perfetto.dev.
+  [[nodiscard]] std::string export_chrome_json() const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace pr::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
+
 namespace pr::route {
 
 FcpRouting::FcpRouting(const Graph& g, std::size_t cache_capacity)
@@ -19,6 +21,7 @@ const FcpRouting::Entry& FcpRouting::entry_for(const std::vector<EdgeId>& failur
     // Promote to most-recently-used; the node itself (and the reference we
     // return) does not move.
     lru_.splice(lru_.begin(), lru_, it->second);
+    obs::count(obs::Counter::kFcpMemoHits);
     return *it->second;
   }
 
@@ -29,6 +32,7 @@ const FcpRouting::Entry& FcpRouting::entry_for(const std::vector<EdgeId>& failur
     entries_.erase(lru_.back().key);
     lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
     ++evictions_;
+    obs::count(obs::Counter::kFcpMemoEvictions);
   } else {
     lru_.emplace_front();
   }
@@ -42,6 +46,7 @@ const FcpRouting::Entry& FcpRouting::entry_for(const std::vector<EdgeId>& failur
   excluded_.clear();
   for (EdgeId e : failures) excluded_.insert(e);
   ++spf_computations_;
+  obs::count(obs::Counter::kFcpMemoFills);
   workspace_.full_build(*graph_, dest, &excluded_, entry.dist.data(),
                         entry.hops.data(), entry.next_dart.data());
   entries_.emplace(std::move(key), lru_.begin());

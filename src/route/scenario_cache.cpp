@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
+
 namespace pr::route {
 
 const RoutingDb& ScenarioRoutingCache::tables(const graph::Graph& g,
@@ -15,19 +17,25 @@ const RoutingDb& ScenarioRoutingCache::tables(const graph::Graph& g,
     kind_ = kind;
     current_failures_.clear();
     ++pristine_builds_;
+    obs::count(obs::Counter::kRouteCachePristineBuilds);
     if (failures.empty()) return *db_;
   } else {
     const auto elements = failures.elements();
     if (std::equal(elements.begin(), elements.end(), current_failures_.begin(),
                    current_failures_.end())) {
       ++hits_;
+      obs::count(obs::Counter::kRouteCacheHits);
       return *db_;
     }
   }
-  db_->rebuild(failures, workspace_);
+  {
+    obs::PhaseTimer timer(obs::Phase::kSpfRebuild);
+    db_->rebuild(failures, workspace_);
+  }
   const auto elements = failures.elements();
   current_failures_.assign(elements.begin(), elements.end());
   ++rebuilds_;
+  obs::count(obs::Counter::kRouteCacheRebuilds);
   return *db_;
 }
 

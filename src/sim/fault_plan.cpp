@@ -22,17 +22,35 @@ std::vector<std::string> split_commas(std::string_view text) {
   return out;
 }
 
-std::size_t parse_index(const std::string& token, const char* var) {
+/// Every from_env failure goes through here so the message always names the
+/// offending variable AND its full raw value -- a typo'd fault script in CI
+/// must be diagnosable from the error alone.
+[[noreturn]] void fail_env(const char* var, std::string_view raw,
+                           const std::string& detail) {
+  throw std::invalid_argument(std::string(var) + "='" + std::string(raw) +
+                              "': " + detail);
+}
+
+std::size_t parse_index(const std::string& token, const char* var,
+                        std::string_view raw) {
   if (token.empty() || token.find_first_not_of("0123456789") != std::string::npos) {
-    throw std::invalid_argument(std::string(var) + ": expected a non-negative integer, got '" +
-                                token + "'");
+    fail_env(var, raw, "expected a non-negative integer, got '" + token + "'");
   }
   errno = 0;
   const unsigned long long value = std::strtoull(token.c_str(), nullptr, 10);
   if (errno != 0 || value > std::numeric_limits<std::size_t>::max()) {
-    throw std::invalid_argument(std::string(var) + ": value out of range '" + token + "'");
+    fail_env(var, raw, "value out of range '" + token + "'");
   }
   return static_cast<std::size_t>(value);
+}
+
+/// Duplicate unit indices in one variable are rejected rather than silently
+/// collapsed (sets) or last-wins overwritten (the stall map).
+void reject_duplicate(std::set<std::size_t>& seen, std::size_t unit, const char* var,
+                      std::string_view raw) {
+  if (!seen.insert(unit).second) {
+    fail_env(var, raw, "duplicate unit " + std::to_string(unit));
+  }
 }
 
 }  // namespace
@@ -63,19 +81,25 @@ std::string FaultPlan::describe() const {
 FaultPlan FaultPlan::from_env() {
   FaultPlan plan;
   if (const char* raw = std::getenv("PR_FAULT_THROW_UNIT"); raw != nullptr && *raw != '\0') {
+    std::set<std::size_t> seen;
     for (const auto& token : split_commas(raw)) {
-      plan.throw_in_unit(parse_index(token, "PR_FAULT_THROW_UNIT"));
+      const std::size_t unit = parse_index(token, "PR_FAULT_THROW_UNIT", raw);
+      reject_duplicate(seen, unit, "PR_FAULT_THROW_UNIT", raw);
+      plan.throw_in_unit(unit);
     }
   }
   if (const char* raw = std::getenv("PR_FAULT_STALL_UNIT"); raw != nullptr && *raw != '\0') {
+    std::set<std::size_t> seen;
     for (const auto& token : split_commas(raw)) {
       const std::size_t colon = token.find(':');
       if (colon == std::string::npos) {
-        throw std::invalid_argument("PR_FAULT_STALL_UNIT: expected 'unit:ms', got '" + token +
-                                    "'");
+        fail_env("PR_FAULT_STALL_UNIT", raw, "expected 'unit:ms', got '" + token + "'");
       }
-      const std::size_t unit = parse_index(token.substr(0, colon), "PR_FAULT_STALL_UNIT");
-      const std::size_t ms = parse_index(token.substr(colon + 1), "PR_FAULT_STALL_UNIT");
+      const std::size_t unit =
+          parse_index(token.substr(0, colon), "PR_FAULT_STALL_UNIT", raw);
+      const std::size_t ms =
+          parse_index(token.substr(colon + 1), "PR_FAULT_STALL_UNIT", raw);
+      reject_duplicate(seen, unit, "PR_FAULT_STALL_UNIT", raw);
       plan.stall_unit(unit, std::chrono::milliseconds(ms));
     }
   }
@@ -84,13 +108,15 @@ FaultPlan FaultPlan::from_env() {
     if (value == "1" || value == "true" || value == "yes") {
       plan.fail_at_checkpoint();
     } else if (value != "0" && value != "false" && value != "no") {
-      throw std::invalid_argument("PR_FAULT_FAIL_CHECKPOINT: expected 0/1, got '" +
-                                  std::string(value) + "'");
+      fail_env("PR_FAULT_FAIL_CHECKPOINT", raw, "expected 0/1");
     }
   }
   if (const char* raw = std::getenv("PR_FAULT_MALFORMED_UNIT"); raw != nullptr && *raw != '\0') {
+    std::set<std::size_t> seen;
     for (const auto& token : split_commas(raw)) {
-      plan.malformed_scenario(parse_index(token, "PR_FAULT_MALFORMED_UNIT"));
+      const std::size_t unit = parse_index(token, "PR_FAULT_MALFORMED_UNIT", raw);
+      reject_duplicate(seen, unit, "PR_FAULT_MALFORMED_UNIT", raw);
+      plan.malformed_scenario(unit);
     }
   }
   return plan;

@@ -86,6 +86,10 @@ class FaultPlan {
   ///   PR_FAULT_MALFORMED_UNIT=u[,u...]  corrupt these units' scenarios
   /// Unset variables contribute nothing; malformed values throw
   /// std::invalid_argument (a typo'd fault plan must not silently pass CI).
+  /// A unit listed twice in the same variable is rejected the same way: a
+  /// duplicate is always a script editing mistake (sets would silently
+  /// collapse it; the stall map would silently keep only the last delay).
+  /// Every error message names the offending variable and its full value.
   [[nodiscard]] static FaultPlan from_env();
 
  private:

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
+
 namespace pr::sim {
 
 HopDecision ForwardingEngine::decide(FlowState& fs) const {
@@ -83,6 +85,15 @@ void run_flow_batch(const Network& net, ForwardingProtocol& protocol,
   if (mode == TraceMode::kFullTrace) offsets.reserve(flows.size() + 1);
 
   const ForwardingEngine engine(net, protocol);
+  // Dataplane telemetry accumulates in locals and flushes ONCE per batch:
+  // the hot loop never touches thread-local state, and a disabled sink costs
+  // exactly one branch per route_batch call.
+  const bool observed = obs::enabled();
+  std::uint64_t obs_delivered = 0;
+  std::uint64_t obs_dropped = 0;
+  std::uint64_t obs_hops = 0;
+  std::uint64_t obs_cycle_flows = 0;
+  std::uint64_t obs_cycle_hops = 0;
   FlowState fs;  // recycled across flows; FCP-list capacity survives reset()
   for (std::size_t i = 0; i < flows.size(); ++i) {
     const FlowSpec& flow = flows[i];
@@ -104,8 +115,31 @@ void run_flow_batch(const Network& net, ForwardingProtocol& protocol,
 
     stats.push_back(FlowStats{outcome.status, outcome.reason, fs.hops, fs.cost});
     if (outcome.status == DeliveryStatus::kDelivered) ++delivered;
+    if (observed) {
+      obs_hops += fs.hops;
+      if (outcome.status == DeliveryStatus::kDelivered) {
+        ++obs_delivered;
+      } else {
+        ++obs_dropped;
+      }
+      if (fs.packet.pr_bit) {
+        // The flow ended in PR cycle-follow mode: its whole walk priced the
+        // paper's recovery mechanism, so its hop count feeds the
+        // cycle-follow-length telemetry.
+        ++obs_cycle_flows;
+        obs_cycle_hops += fs.hops;
+      }
+    }
   }
   if (mode == TraceMode::kFullTrace) offsets.push_back(nodes.size());
+  if (observed) {
+    obs::count(obs::Counter::kFlowsRouted, flows.size());
+    obs::count(obs::Counter::kFlowsDelivered, obs_delivered);
+    obs::count(obs::Counter::kFlowsDropped, obs_dropped);
+    obs::count(obs::Counter::kForwardHops, obs_hops);
+    obs::count(obs::Counter::kCycleFollowFlows, obs_cycle_flows);
+    obs::count(obs::Counter::kCycleFollowHops, obs_cycle_hops);
+  }
 }
 
 }  // namespace

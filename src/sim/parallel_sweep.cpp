@@ -14,6 +14,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/progress.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_log.hpp"
 #include "sim/fault_plan.hpp"
 
 namespace pr::sim {
@@ -71,6 +74,11 @@ struct SweepExecutor::Impl {
   std::size_t idle_workers = 0;  // workers finished with the current job
   bool job_active = false;       // run() admits one caller at a time
   bool stopping = false;
+
+  // Observability attachments (set_telemetry, outside any job).  Workers
+  // snapshot these under `mutex` when they pick up a generation, so swapping
+  // telemetry between runs is safe.
+  SweepTelemetry telemetry;
 
   // Run-control plumbing for the current job.  `control` is read-only;
   // `policy`/`faults` are snapshots taken at job start.  Legacy (void) entry
@@ -136,12 +144,30 @@ struct SweepExecutor::Impl {
     ctx.worker_ = worker_index;
     std::uint64_t seen_generation = 0;
     while (true) {
+      obs::Counters* cell = nullptr;
+      obs::TraceLog* trace = nullptr;
+      obs::SweepProgress* progress = nullptr;
       {
         std::unique_lock<std::mutex> lock(mutex);
         work_ready.wait(lock, [&] { return stopping || generation != seen_generation; });
         if (stopping) return;
         seen_generation = generation;
+        if (telemetry.registry != nullptr &&
+            worker_index < telemetry.registry->worker_count()) {
+          cell = &telemetry.registry->worker(worker_index);
+        }
+        trace = telemetry.trace;
+        progress = telemetry.progress;
       }
+      // Worker w's counter cell becomes this thread's sink for the whole
+      // job, so instrumented subsystems deep in the unit function (SPF
+      // repair, routing caches, incidence probes, forwarding) attribute to
+      // the right worker with zero plumbing.  Null cell == telemetry off ==
+      // one predictable branch per instrumentation point.
+      obs::ScopedSink sink_guard(cell);
+      // Clocks are only read when something consumes them; an unobserved
+      // sweep runs the exact pre-telemetry claim loop.
+      const bool timed = cell != nullptr || trace != nullptr || progress != nullptr;
       while (true) {
         if (halted.load(std::memory_order_relaxed)) break;
         if (control != nullptr) {
@@ -178,23 +204,55 @@ struct SweepExecutor::Impl {
           if (truncate_at < unit) continue;
         }
         ctx.rng_ = graph::Rng(split_seed(seed, unit));
+        std::uint64_t unit_t0 = 0;
+        if (timed) {
+          unit_t0 = obs::now_ns();
+          // Started BEFORE any injected stall so the stall detector sees the
+          // wedged claim -- exactly what PR_FAULT_STALL_UNIT exercises.
+          if (progress != nullptr) progress->unit_started(worker_index, unit, unit_t0);
+        }
         if (faults != nullptr) {
           const auto stall = faults->stall_for(unit);
-          if (stall.count() > 0) std::this_thread::sleep_for(stall);
+          if (stall.count() > 0) {
+            if (trace != nullptr) {
+              trace->record_instant(obs::SpanKind::kFault,
+                                    static_cast<std::uint32_t>(worker_index), unit,
+                                    static_cast<std::uint64_t>(stall.count()));
+            }
+            std::this_thread::sleep_for(stall);
+          }
         }
         bool ok = true;
         try {
           if (faults != nullptr && faults->should_throw(unit)) {
+            if (trace != nullptr) {
+              trace->record_instant(obs::SpanKind::kFault,
+                                    static_cast<std::uint32_t>(worker_index), unit);
+            }
             throw InjectedFault("injected fault in unit " + std::to_string(unit));
           }
           (*fn)(unit, ctx);
         } catch (...) {
           ok = false;
+          if (cell != nullptr) cell->add(obs::Counter::kUnitErrors);
           std::lock_guard<std::mutex> lock(mutex);
           record_error_locked(unit, worker_index,
                               policy == UnitErrorPolicy::kStop);
         }
         executed.fetch_add(1, std::memory_order_relaxed);
+        if (timed) {
+          const std::uint64_t unit_t1 = obs::now_ns();
+          if (progress != nullptr) progress->unit_finished(worker_index, unit_t1);
+          if (cell != nullptr) {
+            cell->add(obs::Counter::kUnitsExecuted);
+            cell->add_phase(obs::Phase::kUnit, unit_t1 - unit_t0);
+          }
+          if (trace != nullptr) {
+            trace->record(obs::TraceSpan{obs::SpanKind::kUnit,
+                                         static_cast<std::uint32_t>(worker_index), unit,
+                                         unit_t0, unit_t1, ok ? 0u : 1u});
+          }
+        }
         if (reduce != nullptr) {
           std::unique_lock<std::mutex> lock(mutex);
           if (truncate_at <= unit) continue;  // truncated at/below: slot irrelevant
@@ -211,7 +269,20 @@ struct SweepExecutor::Impl {
             done[watermark % window] = 0;
             if (fold) {
               try {
+                const std::uint64_t reduce_t0 = timed ? obs::now_ns() : 0;
                 (*reduce)(watermark);
+                if (timed) {
+                  const std::uint64_t reduce_t1 = obs::now_ns();
+                  if (cell != nullptr) {
+                    cell->add(obs::Counter::kReduceCalls);
+                    cell->add_phase(obs::Phase::kReduce, reduce_t1 - reduce_t0);
+                  }
+                  if (trace != nullptr) {
+                    trace->record(obs::TraceSpan{
+                        obs::SpanKind::kReduce, static_cast<std::uint32_t>(worker_index),
+                        watermark, reduce_t0, reduce_t1, 0});
+                  }
+                }
               } catch (...) {
                 // A reduce failure truncates under EVERY policy: streaming
                 // state past this point would be half-folded.
@@ -274,6 +345,19 @@ SweepExecutor::~SweepExecutor() {
 
 std::size_t SweepExecutor::thread_count() const noexcept {
   return impl_->workers.size();
+}
+
+void SweepExecutor::set_telemetry(const SweepTelemetry& telemetry) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->job_active) {
+    throw std::logic_error(
+        "SweepExecutor::set_telemetry: cannot swap telemetry while a job is "
+        "running");
+  }
+  if (telemetry.registry != nullptr) {
+    telemetry.registry->ensure_workers(impl_->workers.size());
+  }
+  impl_->telemetry = telemetry;
 }
 
 void SweepExecutor::run(std::size_t unit_count, const UnitFn& fn, std::uint64_t seed) {
@@ -342,6 +426,38 @@ SweepOutcome SweepExecutor::run_job(std::size_t unit_count, const UnitFn& fn,
   impl_->next_unit.store(0, std::memory_order_relaxed);
   impl_->executed.store(0, std::memory_order_relaxed);
   impl_->idle_workers = 0;
+
+  // When progress is attached, a monitor thread ticks it on its interval
+  // until the pool drains: snapshot callbacks (the benches' stderr line) and
+  // stall detection run here, never on a worker.  Taking the executor mutex
+  // only to WAIT keeps the monitor off the workers' lock hot path; the tick
+  // itself runs unlocked against the lanes' relaxed atomics.
+  obs::SweepProgress* progress = impl_->telemetry.progress;
+  obs::TraceLog* trace = impl_->telemetry.trace;
+  std::thread monitor;
+  if (progress != nullptr) {
+    progress->begin_job(impl_->workers.size(), impl_->claim_limit, obs::now_ns());
+    monitor = std::thread([this, progress, trace] {
+      const std::chrono::nanoseconds interval(progress->options().interval_ns);
+      std::unique_lock<std::mutex> mon_lock(impl_->mutex);
+      while (impl_->idle_workers != impl_->workers.size()) {
+        if (impl_->job_done.wait_for(mon_lock, interval, [&] {
+              return impl_->idle_workers == impl_->workers.size();
+            })) {
+          break;
+        }
+        mon_lock.unlock();
+        const std::uint64_t stalls_before = progress->stalls_detected();
+        progress->tick(obs::now_ns());
+        if (trace != nullptr && progress->stalls_detected() > stalls_before) {
+          trace->record_instant(obs::SpanKind::kStall, 0, 0,
+                                progress->stalls_detected());
+        }
+        mon_lock.lock();
+      }
+    });
+  }
+
   ++impl_->generation;
   impl_->work_ready.notify_all();
   impl_->job_done.wait(lock, [&] { return impl_->idle_workers == impl_->workers.size(); });
@@ -379,23 +495,39 @@ SweepOutcome SweepExecutor::run_job(std::size_t unit_count, const UnitFn& fn,
     outcome.stop_reason = StopReason::kBudget;  // claim_limit < unit_count
   }
 
+  std::exception_ptr legacy_error;
+  std::size_t legacy_unit = 0;
+  std::size_t legacy_worker = 0;
   if (legacy && impl_->lowest_error) {
-    std::exception_ptr error = impl_->lowest_error;
-    const std::size_t unit = impl_->lowest_error_unit;
-    const std::size_t worker = impl_->lowest_error_worker;
-    impl_->lowest_error = nullptr;
-    lock.unlock();
+    legacy_error = impl_->lowest_error;
+    legacy_unit = impl_->lowest_error_unit;
+    legacy_worker = impl_->lowest_error_worker;
+  }
+  impl_->lowest_error = nullptr;
+  const std::size_t truncation_point = impl_->truncate_at;
+  lock.unlock();
+
+  // The monitor holds the mutex while waiting, so it is joined only after
+  // the lock is released.
+  if (monitor.joinable()) monitor.join();
+  if (progress != nullptr) progress->end_job(obs::now_ns());
+  if (trace != nullptr && truncated) {
+    trace->record_instant(obs::SpanKind::kTruncate, 0, truncation_point,
+                          outcome.completed_units);
+  }
+
+  if (legacy_error) {
     // Rethrow with unit/worker context; std::throw_with_nested attaches the
     // original so callers can still dig out its concrete type.
     try {
-      std::rethrow_exception(error);
+      std::rethrow_exception(legacy_error);
     } catch (const std::exception& e) {
-      std::throw_with_nested(SweepUnitError(unit, worker, e.what()));
+      std::throw_with_nested(SweepUnitError(legacy_unit, legacy_worker, e.what()));
     } catch (...) {
-      std::throw_with_nested(SweepUnitError(unit, worker, "unknown exception"));
+      std::throw_with_nested(
+          SweepUnitError(legacy_unit, legacy_worker, "unknown exception"));
     }
   }
-  impl_->lowest_error = nullptr;
   return outcome;
 }
 

@@ -46,7 +46,37 @@
 #include "traffic/incidence.hpp"
 #include "traffic/load_map.hpp"
 
+namespace pr::obs {
+class Registry;
+class TraceLog;
+class SweepProgress;
+}  // namespace pr::obs
+
 namespace pr::sim {
+
+/// Optional observability attachments for an executor (see src/obs/).  All
+/// three are borrowed pointers the caller keeps alive across runs; any subset
+/// may be null.  Telemetry is purely observational -- attaching it must not
+/// (and, by obs_test, does not) change a single result bit.
+///   * registry -- per-worker obs::Counters cells; the executor installs
+///     worker w's cell as the thread-local sink while w runs units, so every
+///     instrumented subsystem (SPF repair, routing caches, incidence probes,
+///     forwarding) attributes to the right worker without plumbing.
+///   * trace    -- obs::TraceLog receiving unit/reduce/fault/stall/truncate
+///     spans for chrome://tracing export.
+///   * progress -- obs::SweepProgress fed per-unit start/finish events; when
+///     attached, run()/run_ordered() drive a monitor thread that calls
+///     progress->tick() on its configured interval (snapshot callbacks,
+///     stall detection).
+struct SweepTelemetry {
+  obs::Registry* registry = nullptr;
+  obs::TraceLog* trace = nullptr;
+  obs::SweepProgress* progress = nullptr;
+
+  [[nodiscard]] bool any() const noexcept {
+    return registry != nullptr || trace != nullptr || progress != nullptr;
+  }
+};
 
 /// Hard ceiling on pool size -- far above any real machine, so it only ever
 /// trips on caller bugs ("-1" parsed through strtoull, uninitialised config)
@@ -155,6 +185,12 @@ class SweepExecutor {
   SweepExecutor& operator=(const SweepExecutor&) = delete;
 
   [[nodiscard]] std::size_t thread_count() const noexcept;
+
+  /// Attaches (or, with a default-constructed SweepTelemetry, detaches)
+  /// observability sinks for subsequent runs; sizes `telemetry.registry` to
+  /// the pool.  Must not be called while a job is running (throws
+  /// std::logic_error).  See SweepTelemetry for the determinism guarantee.
+  void set_telemetry(const SweepTelemetry& telemetry);
 
   /// Applies `fn` to every unit in [0, unit_count), dynamically sharded
   /// across the pool; returns when all units finished.  `seed` roots the

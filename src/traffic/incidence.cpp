@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
+
 namespace pr::traffic {
 
 void FlowIncidenceIndex::build(const net::Network& net,
@@ -86,6 +88,9 @@ void FlowIncidenceIndex::affected_flows(const graph::EdgeSet& failures,
     }
   }
   std::sort(out.begin(), out.end());
+  obs::count(obs::Counter::kIncidenceProbes);
+  obs::count(obs::Counter::kIncidenceAffectedFlows, out.size());
+  obs::count(obs::Counter::kIncidenceUniverseFlows, flow_count());
 }
 
 void GroupIncidence::build(const FlowIncidenceIndex& index,
@@ -139,6 +144,9 @@ void GroupIncidence::affected_flows(std::span<const std::size_t> groups,
     }
   }
   std::sort(out.begin(), out.end());
+  obs::count(obs::Counter::kIncidenceProbes);
+  obs::count(obs::Counter::kIncidenceAffectedFlows, out.size());
+  obs::count(obs::Counter::kIncidenceUniverseFlows, flow_count_);
 }
 
 }  // namespace pr::traffic

@@ -132,6 +132,39 @@ TEST(FaultPlanTest, FromEnvParsesAndRejects) {
   ::setenv("PR_FAULT_STALL_UNIT", "4:25", 1);
   ::setenv("PR_FAULT_FAIL_CHECKPOINT", "maybe", 1);
   EXPECT_THROW((void)FaultPlan::from_env(), std::invalid_argument);
+  ::setenv("PR_FAULT_FAIL_CHECKPOINT", "0", 1);
+
+  // Every parse error names the offending variable AND its full value, so a
+  // CI failure is diagnosable from the message alone.
+  ::setenv("PR_FAULT_THROW_UNIT", "3,oops", 1);
+  try {
+    (void)FaultPlan::from_env();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("PR_FAULT_THROW_UNIT"), std::string::npos) << what;
+    EXPECT_NE(what.find("3,oops"), std::string::npos) << what;
+  }
+
+  // Duplicate units in one variable are an editing mistake, not a request:
+  // sets would silently collapse them and the stall map would keep only the
+  // last delay, so from_env rejects them outright.
+  ::setenv("PR_FAULT_THROW_UNIT", "3,7,3", 1);
+  try {
+    (void)FaultPlan::from_env();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("PR_FAULT_THROW_UNIT"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate unit 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("3,7,3"), std::string::npos) << what;
+  }
+  ::setenv("PR_FAULT_THROW_UNIT", "3", 1);
+  ::setenv("PR_FAULT_STALL_UNIT", "4:25,4:50", 1);
+  EXPECT_THROW((void)FaultPlan::from_env(), std::invalid_argument);
+  ::setenv("PR_FAULT_STALL_UNIT", "4:25", 1);
+  ::setenv("PR_FAULT_MALFORMED_UNIT", "6,6", 1);
+  EXPECT_THROW((void)FaultPlan::from_env(), std::invalid_argument);
 
   ::unsetenv("PR_FAULT_THROW_UNIT");
   ::unsetenv("PR_FAULT_STALL_UNIT");

@@ -44,12 +44,26 @@ REQUIRED_KEYS = {
         "speedup_incremental",
         "affected_flow_fraction",
         "protocols",
+        # Telemetry section (obs counters aggregated over the sweep executor).
+        "telemetry",
+        "cache_hit_rate",
+        "counters",
+        "per_worker",
+        "utilization",
     ],
     "backbone": [
         "scales",
         "repair_speedup",
         "scenarios_per_second",
         "peak_rss_mb",
+        # Per-scale attribution + telemetry section.
+        "phase_ms",
+        "telemetry",
+        "cache_hit_rate",
+        "repair_fraction",
+        "counters",
+        "per_worker",
+        "utilization",
     ],
     "failure_storms": [
         "scenarios",
@@ -71,6 +85,15 @@ REQUIRED_KEYS = {
         "resumed",
         "bit_identical_after_resume",
         "peak_rss_mb",
+        # Telemetry section (obs counters, overhead probe, bit-identity).
+        "telemetry",
+        "cache_hit_rate",
+        "repair_fraction",
+        "counters",
+        "per_worker",
+        "utilization",
+        "telemetry_overhead_fraction",
+        "telemetry_bit_identical",
     ],
 }
 

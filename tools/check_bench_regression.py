@@ -1,15 +1,25 @@
 #!/usr/bin/env python3
-"""Throughput regression gate: a fresh bench run vs its committed baseline.
+"""Bench regression gate: a fresh bench run vs its committed baseline.
 
-Compares the scenarios/sec figures of two BENCH_*.json documents of the same
-bench type and fails when any current figure drops more than --tolerance
-(default 0.20, the nightly job's 20% budget) below its baseline counterpart.
-Speedups are never an error: faster runs simply pass, so a baseline captured
-on slow hardware stays a valid floor on faster CI runners.
+Compares two BENCH_*.json documents of the same bench type and fails when any
+tracked metric regresses more than --tolerance (default 0.20, the nightly
+job's 20% budget) beyond its baseline counterpart.  Improvements are never an
+error: faster runs simply pass, so a baseline captured on slow hardware stays
+a valid floor on faster CI runners.
 
-Metrics per bench:
+Tracked metrics per bench:
   * failure_storms -- best scenarios/sec across the thread curve;
   * backbone       -- per-scale scenarios/sec, matched by scale name.
+
+Both benches additionally gate on telemetry quality metrics when (and only
+when) the baseline carries a "telemetry" section: cache_hit_rate and
+repair_fraction are higher-is-better ratios whose decay signals an
+effectiveness regression (e.g. a cache key change silently disabling reuse)
+that raw throughput on fast hardware can mask.  Baselines captured before the
+telemetry schema existed simply skip those gates.
+
+Every verdict line names the metric and says by how much it moved; the
+failing lines are the complete list of what regressed.
 
 Usage: check_bench_regression.py BASELINE CURRENT [--tolerance 0.2]
 """
@@ -17,6 +27,9 @@ Usage: check_bench_regression.py BASELINE CURRENT [--tolerance 0.2]
 import argparse
 import json
 import sys
+
+# Telemetry ratios gated as higher-is-better (fractional drop vs baseline).
+TELEMETRY_METRICS = ("cache_hit_rate", "repair_fraction")
 
 
 def load(path):
@@ -61,6 +74,85 @@ def throughputs(doc, path):
         f"'{bench}' ({path})")
 
 
+def telemetry_metrics(doc):
+    """Extracts {metric name: ratio} from a document's telemetry section.
+
+    Returns {} when the document has no telemetry section (pre-telemetry
+    baseline) -- the caller skips those gates rather than failing, so the
+    gate switches on automatically once a baseline with telemetry lands.
+    """
+    telemetry = doc.get("telemetry")
+    if not isinstance(telemetry, dict):
+        return {}
+    out = {}
+    for key in TELEMETRY_METRICS:
+        value = telemetry.get(key)
+        if isinstance(value, (int, float)):
+            out[f"telemetry.{key}"] = float(value)
+    return out
+
+
+def compare(baseline_doc, current_doc, tolerance,
+            baseline_path="<baseline>", current_path="<current>"):
+    """Compares two parsed bench documents; returns a list of result rows.
+
+    Each row is a dict:
+      name      -- metric name ("best_threads", "isp-1024",
+                   "telemetry.cache_hit_rate", ...)
+      unit      -- "scenarios/s" or "ratio"
+      baseline  -- baseline value
+      current   -- current value, or None when missing from the current run
+      floor     -- lowest passing current value
+      drop      -- fractional decline vs baseline (negative = improved),
+                   or None when current is missing
+      ok        -- True when the metric passes
+
+    Pure function of its inputs (aside from SystemExit on malformed
+    documents), so tests can drive it on literal dicts.
+    """
+    if baseline_doc.get("bench") != current_doc.get("bench"):
+        raise SystemExit("check_bench_regression: baseline and current are "
+                         "different bench types")
+
+    metric_sets = [
+        ("scenarios/s", throughputs(baseline_doc, baseline_path),
+         throughputs(current_doc, current_path)),
+        ("ratio", telemetry_metrics(baseline_doc),
+         telemetry_metrics(current_doc)),
+    ]
+
+    rows = []
+    for unit, baseline, current in metric_sets:
+        for name, base_value in sorted(baseline.items()):
+            cur_value = current.get(name)
+            floor = (1.0 - tolerance) * base_value
+            if cur_value is None:
+                rows.append({"name": name, "unit": unit,
+                             "baseline": base_value, "current": None,
+                             "floor": floor, "drop": None, "ok": False})
+                continue
+            drop = (1.0 - cur_value / base_value) if base_value > 0 else 0.0
+            rows.append({"name": name, "unit": unit,
+                         "baseline": base_value, "current": cur_value,
+                         "floor": floor, "drop": drop,
+                         "ok": cur_value >= floor})
+    return rows
+
+
+def format_row(row, tolerance):
+    """One human-readable verdict line naming the metric and its movement."""
+    if row["current"] is None:
+        return (f"{row['name']}: baseline {row['baseline']:.4g} {row['unit']} "
+                f"but metric is MISSING from the current run")
+    direction = "down" if row["drop"] > 0 else "up"
+    moved = abs(row["drop"]) * 100.0
+    verdict = "ok" if row["ok"] else \
+        f"REGRESSION ({moved:.1f}% drop exceeds the {tolerance * 100.0:.0f}% budget)"
+    return (f"{row['name']}: baseline {row['baseline']:.4g} -> current "
+            f"{row['current']:.4g} {row['unit']} ({direction} {moved:.1f}%, "
+            f"floor {row['floor']:.4g}) {verdict}")
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -69,29 +161,13 @@ def main(argv):
                         help="allowed fractional drop below baseline (default 0.20)")
     args = parser.parse_args(argv[1:])
 
-    baseline_doc = load(args.baseline)
-    current_doc = load(args.current)
-    if baseline_doc.get("bench") != current_doc.get("bench"):
-        raise SystemExit("check_bench_regression: baseline and current are "
-                         "different bench types")
-
-    baseline = throughputs(baseline_doc, args.baseline)
-    current = throughputs(current_doc, args.current)
-
+    rows = compare(load(args.baseline), load(args.current), args.tolerance,
+                   args.baseline, args.current)
     failed = False
-    for name, base_value in sorted(baseline.items()):
-        cur_value = current.get(name)
-        if cur_value is None:
-            print(f"{name}: missing from current run", file=sys.stderr)
-            failed = True
-            continue
-        floor = (1.0 - args.tolerance) * base_value
-        verdict = "ok" if cur_value >= floor else "REGRESSION"
-        ratio = cur_value / base_value if base_value > 0 else float("inf")
-        print(f"{name}: baseline {base_value:.1f} -> current {cur_value:.1f} "
-              f"scenarios/s ({ratio:.2f}x, floor {floor:.1f}) {verdict}")
-        if cur_value < floor:
-            failed = True
+    for row in rows:
+        print(format_row(row, args.tolerance),
+              file=sys.stderr if not row["ok"] else sys.stdout)
+        failed = failed or not row["ok"]
     return 1 if failed else 0
 
 
