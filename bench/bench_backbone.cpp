@@ -52,7 +52,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <fstream>
 #include <functional>
 #include <iostream>
 #include <limits>
@@ -69,6 +68,7 @@
 #include "route/routing_db.hpp"
 #include "route/scenario_cache.hpp"
 #include "sim/parallel_sweep.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
 
@@ -350,8 +350,7 @@ int main(int argc, char** argv) {
        << ",\n  \"peak_rss_mb\": " << peak_rss_mb() << "\n}\n";
 
   std::cout << json.str();
-  std::ofstream out("BENCH_backbone.json");
-  out << json.str();
+  util::atomic_write_file("BENCH_backbone.json", json.str());
   std::cerr << "wrote BENCH_backbone.json (largest-scale repair speedup: "
             << largest_speedup << "x, peak RSS " << peak_rss_mb() << " MB)\n";
   return 0;

@@ -60,7 +60,6 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
-#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <limits>
@@ -79,9 +78,11 @@
 #include "sim/fault_plan.hpp"
 #include "sim/parallel_sweep.hpp"
 #include "sim/run_control.hpp"
+#include "sim/signal_guard.hpp"
 #include "topo/topologies.hpp"
 #include "traffic/capacity.hpp"
 #include "traffic/demand.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
 
@@ -233,6 +234,22 @@ int main(int argc, char** argv) {
             << risky.size() << " would partition the network\n"
             << "model: " << model.describe() << "\n\n";
 
+  // Graceful shutdown: one guard for the whole bench.  SIGINT/SIGTERM cancel
+  // whichever controlled leg is active (rebind below); the uncontrolled
+  // sections honour the request at the next section boundary.  Either way the
+  // process leaves with the distinct resumable status instead of dying
+  // mid-artifact-write.
+  sim::RunControl signal_control;
+  sim::SignalGuard guard(signal_control);
+  const auto bail_if_signalled = [&guard] {
+    if (guard.triggered()) {
+      std::cerr << "bench_failure_storms: interrupted by signal "
+                << guard.signal_number() << "; exiting "
+                << sim::kInterruptedExitStatus << "\n";
+      std::exit(sim::kInterruptedExitStatus);
+    }
+  };
+
   std::ostringstream json;
   json << "{\n  \"bench\": \"failure_storms\",\n  \"topology\": \"geant\",\n"
        << "  \"scenarios\": " << scenario_count << ",\n  \"catalog_groups\": "
@@ -310,6 +327,7 @@ int main(int argc, char** argv) {
     json << "\n    ] }";
     std::cout << "\n";
   }
+  bail_if_signalled();
 
   // -- Section 2 + 3: the full sampled storm -- determinism across thread
   // counts, throughput curve, streamed distributions and worst scenarios ----
@@ -411,6 +429,7 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
   json << "\n  ]";
+  bail_if_signalled();
 
   // -- Section 3b: telemetry -- attach the obs layer, prove enabled ==
   // disabled bit for bit, and measure its overhead on the same warmed pool.
@@ -485,6 +504,7 @@ int main(int argc, char** argv) {
   json << ",\n  \"telemetry\": " << obs::telemetry_json(registry, telemetry_ms)
        << ",\n  \"telemetry_overhead_fraction\": " << overhead_fraction
        << ",\n  \"telemetry_bit_identical\": true";
+  bail_if_signalled();
 
   // -- Section 4: resilience -- interrupt the sweep, checkpoint, resume, and
   // require the resumed reducers bit-identical to the uninterrupted
@@ -508,19 +528,23 @@ int main(int argc, char** argv) {
     sim::RunControl control;
     control.set_unit_budget(scenario_count / 2);
     if (!faults.empty()) control.set_fault_plan(&faults);
+    guard.rebind(control);  // a signal now cancels THIS leg's sweep
     analysis::StormRunOptions options;
     options.control = &control;
     const auto interrupt_start = Clock::now();
     const auto partial = analysis::run_storm_experiment_resilient(
         g, demand, plan, model, protocols, config, executor, options);
+    bail_if_signalled();
 
     sim::RunControl resume_control;
+    guard.rebind(resume_control);
     analysis::StormRunOptions resume_options;
     resume_options.control = &resume_control;
     resume_options.resume_from = partial.checkpoint;
     const auto finished = analysis::run_storm_experiment_resilient(
         g, demand, plan, model, protocols, config, executor, resume_options);
     const double interrupt_resume_ms = elapsed_ms(interrupt_start);
+    bail_if_signalled();
     require_identical(reference, finished.result, threads_cap);
 
     std::cout << "-- Resilience: " << sim::to_string(partial.outcome.stop_reason)
@@ -537,16 +561,20 @@ int main(int argc, char** argv) {
     // Deadline leg: a wall-clock cut mid-sweep, then resume to completion.
     sim::RunControl deadline_control;
     deadline_control.set_timeout(std::chrono::milliseconds(25));
+    guard.rebind(deadline_control);
     analysis::StormRunOptions deadline_options;
     deadline_options.control = &deadline_control;
     const auto cut = analysis::run_storm_experiment_resilient(
         g, demand, plan, model, protocols, config, executor, deadline_options);
+    bail_if_signalled();
     sim::RunControl finish_control;
+    guard.rebind(finish_control);
     analysis::StormRunOptions finish_options;
     finish_options.control = &finish_control;
     finish_options.resume_from = cut.checkpoint;
     const auto completed = analysis::run_storm_experiment_resilient(
         g, demand, plan, model, protocols, config, executor, finish_options);
+    bail_if_signalled();
     require_identical(reference, completed.result, threads_cap);
     std::cout << "   deadline leg: " << sim::to_string(cut.outcome.stop_reason)
               << " at " << cut.completed_scenarios << "/" << scenario_count
@@ -570,14 +598,12 @@ int main(int argc, char** argv) {
   json << ",\n  \"peak_rss_mb\": " << peak_rss_mb() << "\n}\n";
 
   std::cout << json.str();
-  std::ofstream out("BENCH_failure_storms.json");
-  out << json.str();
+  util::atomic_write_file("BENCH_failure_storms.json", json.str());
   std::cerr << "wrote BENCH_failure_storms.json (peak RSS " << peak_rss_mb()
             << " MB)\n";
 
   if (const char* path = std::getenv("PR_TRACE_EXPORT"); path != nullptr && *path != '\0') {
-    std::ofstream trace_out(path);
-    trace_out << trace.export_chrome_json();
+    util::atomic_write_file(path, trace.export_chrome_json());
     std::cerr << "wrote chrome://tracing export (" << trace.size() << " spans, "
               << trace.dropped() << " dropped) to " << path << "\n";
   }

@@ -25,7 +25,6 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
-#include <fstream>
 #include <functional>
 #include <iostream>
 #include <limits>
@@ -40,6 +39,7 @@
 #include "net/failure_model.hpp"
 #include "sim/parallel_sweep.hpp"
 #include "topo/topologies.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
 
@@ -151,8 +151,7 @@ int main(int argc, char** argv) {
        << "  \"speedup_at_4_threads\": " << speedup_at_4 << "\n}\n";
 
   std::cout << json.str();
-  std::ofstream out("BENCH_parallel_sweep.json");
-  out << json.str();
+  util::atomic_write_file("BENCH_parallel_sweep.json", json.str());
   std::cerr << "wrote BENCH_parallel_sweep.json (hardware threads: " << hardware
             << ")\n";
   return 0;

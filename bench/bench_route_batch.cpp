@@ -23,7 +23,6 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
-#include <fstream>
 #include <functional>
 #include <limits>
 #include <iostream>
@@ -34,6 +33,7 @@
 #include "analysis/protocols.hpp"
 #include "sim/forwarding_engine.hpp"
 #include "topo/topologies.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
 
@@ -134,8 +134,7 @@ int main(int argc, char** argv) {
   json << "\n  ]\n}\n";
 
   std::cout << json.str();
-  std::ofstream out("BENCH_route_batch.json");
-  out << json.str();
+  util::atomic_write_file("BENCH_route_batch.json", json.str());
   std::cerr << "wrote BENCH_route_batch.json\n";
   return 0;
 }

@@ -32,7 +32,6 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
-#include <fstream>
 #include <functional>
 #include <iostream>
 #include <limits>
@@ -50,6 +49,7 @@
 #include "route/routing_db.hpp"
 #include "sim/parallel_sweep.hpp"
 #include "topo/topologies.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
 
@@ -232,8 +232,7 @@ int main(int argc, char** argv) {
        << " }\n}\n";
 
   std::cout << json.str();
-  std::ofstream out("BENCH_spf_incremental.json");
-  out << json.str();
+  util::atomic_write_file("BENCH_spf_incremental.json", json.str());
   std::cerr << "wrote BENCH_spf_incremental.json (geomean single-link speedup on "
                "GEANT-or-larger: "
             << geomean << "x)\n";

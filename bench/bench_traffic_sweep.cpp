@@ -36,7 +36,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -52,6 +51,7 @@
 #include "traffic/capacity.hpp"
 #include "traffic/congestion.hpp"
 #include "traffic/demand.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
 
@@ -297,8 +297,7 @@ int main(int argc, char** argv) {
   json << "\n  ],\n  \"telemetry\": "
        << obs::telemetry_json(registry, elapsed_ms(bench_t0)) << "\n}\n";
 
-  std::ofstream out("BENCH_traffic_sweep.json");
-  out << json.str();
+  util::atomic_write_file("BENCH_traffic_sweep.json", json.str());
   std::cerr << "wrote BENCH_traffic_sweep.json\n";
   return 0;
 }

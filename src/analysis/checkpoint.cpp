@@ -79,28 +79,37 @@ std::string CheckpointWriter::finish() {
 
 CheckpointReader::CheckpointReader(std::string_view blob) : blob_(blob) {
   if (blob_.size() < kMagic.size() + kChecksumBytes) {
-    throw CheckpointError("checkpoint: blob too short");
+    throw CheckpointError("checkpoint: blob too short: " +
+                          std::to_string(blob_.size()) + " bytes, need at least " +
+                          std::to_string(kMagic.size() + kChecksumBytes) +
+                          " (magic + checksum)");
   }
   if (blob_.substr(0, kMagic.size()) != kMagic) {
-    throw CheckpointError("checkpoint: bad magic (not a PRCKPT01 blob)");
+    throw CheckpointError("checkpoint: bad magic at offset 0 (not a " +
+                          std::string(kMagic) + " blob)");
   }
   end_ = blob_.size() - kChecksumBytes;
   const std::uint64_t want = read_u64(blob_, end_);
   const std::uint64_t got = fnv1a(blob_.substr(0, end_));
   if (want != got) {
-    throw CheckpointError("checkpoint: checksum mismatch (corrupted blob)");
+    throw CheckpointError("checkpoint: checksum mismatch at offset " +
+                          std::to_string(end_) + " (corrupted blob)");
   }
   cursor_ = kMagic.size();
 }
 
-void CheckpointReader::need(std::size_t bytes) const {
+void CheckpointReader::need(std::size_t bytes, const char* field) const {
   if (end_ - cursor_ < bytes) {
-    throw CheckpointError("checkpoint: truncated field (schema mismatch?)");
+    throw CheckpointError("checkpoint: truncated " + std::string(field) +
+                          " at offset " + std::to_string(cursor_) + ": need " +
+                          std::to_string(bytes) + " byte(s), " +
+                          std::to_string(end_ - cursor_) +
+                          " remain before checksum (schema mismatch?)");
   }
 }
 
 std::uint32_t CheckpointReader::u32() {
-  need(4);
+  need(4, "u32");
   std::uint32_t value = 0;
   for (int i = 3; i >= 0; --i) {
     value = (value << 8) |
@@ -111,7 +120,7 @@ std::uint32_t CheckpointReader::u32() {
 }
 
 std::uint64_t CheckpointReader::u64() {
-  need(8);
+  need(8, "u64");
   const std::uint64_t value = read_u64(blob_, cursor_);
   cursor_ += 8;
   return value;
@@ -121,10 +130,14 @@ double CheckpointReader::f64() { return std::bit_cast<double>(u64()); }
 
 std::string CheckpointReader::str() {
   const std::uint64_t length = u64();
-  need(length);
+  need(length, "str payload");
   std::string out(blob_.substr(cursor_, length));
   cursor_ += length;
   return out;
+}
+
+std::uint64_t checkpoint_digest(std::string_view bytes) noexcept {
+  return fnv1a(bytes);
 }
 
 }  // namespace pr::analysis

@@ -75,11 +75,19 @@ class CheckpointReader {
   [[nodiscard]] bool exhausted() const noexcept { return cursor_ == end_; }
 
  private:
-  void need(std::size_t bytes) const;
+  /// Throws CheckpointError naming `field`, the failing byte offset, and the
+  /// byte counts involved -- a truncation report must locate itself.
+  void need(std::size_t bytes, const char* field) const;
 
   std::string_view blob_;
   std::size_t cursor_ = 0;
   std::size_t end_ = 0;  // payload end: blob size minus trailing checksum
 };
+
+/// The FNV-1a 64 digest of arbitrary bytes -- the same function that seals
+/// blobs.  Exposed so tools can print a short, stable fingerprint of a final
+/// checkpoint ("state_digest") and tests can compare sweep state across
+/// process boundaries without shipping whole blobs around.
+[[nodiscard]] std::uint64_t checkpoint_digest(std::string_view bytes) noexcept;
 
 }  // namespace pr::analysis

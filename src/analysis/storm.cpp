@@ -256,7 +256,12 @@ struct StormState {
   std::size_t completed = 0;  ///< absolute scenario cursor
 };
 
-std::string serialize_storm_state(const StormState& state,
+/// Seals the reducer prefix [0, completed) as a blob.  `completed` is passed
+/// explicitly (not read from state) so the executor's auto-checkpoint hook
+/// can seal a mid-run watermark while state.completed still holds the resume
+/// offset -- the reducers themselves ARE the watermark prefix whenever this
+/// runs under the executor's reduce lock.
+std::string serialize_storm_state(const StormState& state, std::size_t completed,
                                   const StormSweepConfig& config,
                                   const std::vector<NamedFactory>& protocols,
                                   bool inject_failure) {
@@ -270,7 +275,7 @@ std::string serialize_storm_state(const StormState& state,
   for (const double q : config.quantiles) w.f64(q);
   w.u64(protocols.size());
   for (const auto& p : protocols) w.str(p.name);
-  w.u64(state.completed);
+  w.u64(completed);
   w.u64(state.result.flows_per_scenario);
   w.f64(state.result.offered_pps);
   put_summary(w, state.result.failed_groups);
@@ -397,6 +402,13 @@ StormRunResult run_storm_experiment_resilient(
   validate_quantiles(config.quantiles);
   if (config.scenarios == 0) {
     throw std::invalid_argument("run_storm_experiment: scenarios must be > 0");
+  }
+  if (options.persist_checkpoint && options.checkpoint_cadence.any() &&
+      options.control == nullptr) {
+    throw std::invalid_argument(
+        "run_storm_experiment_resilient: auto-checkpointing requires a "
+        "RunControl (an uncontrolled run cannot be interrupted, so a cadence "
+        "on one is a configuration bug)");
   }
 
   std::vector<sim::FlowSpec> flows;
@@ -569,6 +581,22 @@ StormRunResult run_storm_experiment_resilient(
     // semantics (SweepUnitError) preserved exactly.
     executor.run_ordered(remaining, unit_fn, reduce_fn, config.seed);
     run.outcome.completed_units = remaining;
+  } else if (options.persist_checkpoint && options.checkpoint_cadence.any()) {
+    // Periodic durability: the monitor thread seals the reducers at its
+    // watermark k (under the executor's reduce lock, so the blob is exactly
+    // the prefix [0, k)) and hands the ABSOLUTE cursor offset + k to the
+    // caller's persist hook off-lock.
+    sim::AutoCheckpoint auto_ckpt;
+    auto_ckpt.cadence = options.checkpoint_cadence;
+    auto_ckpt.serialize = [&](std::size_t k) {
+      return serialize_storm_state(state, offset + k, config, protocols,
+                                   faults != nullptr && faults->fail_checkpoint());
+    };
+    auto_ckpt.persist = [&](std::size_t k, std::string&& blob) {
+      options.persist_checkpoint(offset + k, std::move(blob));
+    };
+    run.outcome = executor.run_ordered(remaining, unit_fn, reduce_fn,
+                                       *options.control, auto_ckpt, config.seed);
   } else {
     run.outcome = executor.run_ordered(remaining, unit_fn, reduce_fn,
                                        *options.control, config.seed);
@@ -588,7 +616,8 @@ StormRunResult run_storm_experiment_resilient(
   // the blob is missing).
   try {
     run.checkpoint = serialize_storm_state(
-        state, config, protocols, faults != nullptr && faults->fail_checkpoint());
+        state, state.completed, config, protocols,
+        faults != nullptr && faults->fail_checkpoint());
   } catch (const CheckpointError& e) {
     run.checkpoint.clear();
     run.checkpoint_error = e.what();

@@ -74,6 +74,11 @@ std::string FaultPlan::describe() const {
     for (const std::size_t u : malformed_units_) out << ' ' << u;
     sep = "; ";
   }
+  if (!abort_units_.empty()) {
+    out << sep << "abort in unit";
+    for (const std::size_t u : abort_units_) out << ' ' << u;
+    sep = "; ";
+  }
   if (fail_checkpoint_) out << sep << "fail at checkpoint";
   return out.str();
 }
@@ -117,6 +122,14 @@ FaultPlan FaultPlan::from_env() {
       const std::size_t unit = parse_index(token, "PR_FAULT_MALFORMED_UNIT", raw);
       reject_duplicate(seen, unit, "PR_FAULT_MALFORMED_UNIT", raw);
       plan.malformed_scenario(unit);
+    }
+  }
+  if (const char* raw = std::getenv("PR_FAULT_ABORT_UNIT"); raw != nullptr && *raw != '\0') {
+    std::set<std::size_t> seen;
+    for (const auto& token : split_commas(raw)) {
+      const std::size_t unit = parse_index(token, "PR_FAULT_ABORT_UNIT", raw);
+      reject_duplicate(seen, unit, "PR_FAULT_ABORT_UNIT", raw);
+      plan.abort_in_unit(unit);
     }
   }
   return plan;

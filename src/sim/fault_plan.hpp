@@ -16,6 +16,14 @@
 //     input validation feeds the same containment path.
 //   - fail_at_checkpoint(): checkpoint serialization throws CheckpointError,
 //     proving a failed checkpoint never corrupts in-memory results.
+//   - abort_in_unit(u): the executor raises std::abort() when unit u is
+//     claimed -- a REAL crash (SIGABRT, no unwinding, no destructors), the
+//     injection the durable checkpoint store and the supervisor harness are
+//     proven against.  Only meaningful in a child process under a test or
+//     supervisor; keyed run-relative like every other fault, so a resumed
+//     incarnation re-arms at its own unit u (which is how a crash-looping
+//     supervised sweep still converges: each incarnation persists u units of
+//     progress before dying).
 //
 // Plans come from tests directly or from the environment (from_env) so CI
 // can inject faults into stock benches without recompiling.
@@ -57,6 +65,10 @@ class FaultPlan {
     malformed_units_.insert(unit);
     return *this;
   }
+  FaultPlan& abort_in_unit(std::size_t unit) {
+    abort_units_.insert(unit);
+    return *this;
+  }
 
   // -- queries --------------------------------------------------------------
   [[nodiscard]] bool should_throw(std::size_t unit) const {
@@ -71,9 +83,12 @@ class FaultPlan {
   [[nodiscard]] bool malformed(std::size_t unit) const {
     return malformed_units_.count(unit) != 0;
   }
+  [[nodiscard]] bool should_abort(std::size_t unit) const {
+    return abort_units_.count(unit) != 0;
+  }
   [[nodiscard]] bool empty() const {
     return throw_units_.empty() && stalls_.empty() && !fail_checkpoint_ &&
-           malformed_units_.empty();
+           malformed_units_.empty() && abort_units_.empty();
   }
 
   /// Human-readable one-line summary ("no faults" when empty).
@@ -84,6 +99,7 @@ class FaultPlan {
   ///   PR_FAULT_STALL_UNIT=u:ms[,u:ms]   sleep ms before these units
   ///   PR_FAULT_FAIL_CHECKPOINT=1        checkpoint serialization fails
   ///   PR_FAULT_MALFORMED_UNIT=u[,u...]  corrupt these units' scenarios
+  ///   PR_FAULT_ABORT_UNIT=u[,u...]      std::abort() when these units claim
   /// Unset variables contribute nothing; malformed values throw
   /// std::invalid_argument (a typo'd fault plan must not silently pass CI).
   /// A unit listed twice in the same variable is rejected the same way: a
@@ -96,6 +112,7 @@ class FaultPlan {
   std::set<std::size_t> throw_units_;
   std::map<std::size_t, std::chrono::milliseconds> stalls_;
   std::set<std::size_t> malformed_units_;
+  std::set<std::size_t> abort_units_;
   bool fail_checkpoint_ = false;
 };
 

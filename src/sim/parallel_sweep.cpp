@@ -100,6 +100,13 @@ struct SweepExecutor::Impl {
   std::size_t lowest_error_unit = kNoTruncation;
   std::size_t lowest_error_worker = 0;
 
+  // Auto-checkpoint plumbing for the current job (controlled ordered runs
+  // only).  The hooks run on the monitor thread; the counters are written
+  // there under `mutex` and read by run_job after the monitor joins.
+  const AutoCheckpoint* auto_ckpt = nullptr;
+  std::size_t auto_checkpoints = 0;
+  std::size_t checkpoint_failures = 0;
+
   // Ordered-reduction state (run_ordered only), guarded by `mutex`.
   const ReduceFn* reduce = nullptr;
   std::size_t window = 0;
@@ -189,6 +196,15 @@ struct SweepExecutor::Impl {
         }
         const std::size_t unit = next_unit.fetch_add(1, std::memory_order_relaxed);
         if (unit >= claim_limit) break;
+        if (faults != nullptr && faults->should_abort(unit)) {
+          // A REAL crash, on purpose: no unwinding, no drain, no final
+          // checkpoint -- SIGABRT at the claim of unit `unit`.  This is the
+          // injection the durable store and the supervisor are proven
+          // against; every auto-checkpoint already persisted is a canonical
+          // prefix strictly below this unit, so resume loses at most one
+          // cadence interval of work.
+          std::abort();
+        }
         if (reduce != nullptr) {
           // Ordered job: the unit's ring slot must be free, i.e. every unit
           // `window` or more below must have been reduced.  The holder of the
@@ -361,12 +377,13 @@ void SweepExecutor::set_telemetry(const SweepTelemetry& telemetry) {
 }
 
 void SweepExecutor::run(std::size_t unit_count, const UnitFn& fn, std::uint64_t seed) {
-  run_job(unit_count, fn, nullptr, nullptr, seed, 0, /*legacy=*/true);
+  run_job(unit_count, fn, nullptr, nullptr, nullptr, seed, 0, /*legacy=*/true);
 }
 
 SweepOutcome SweepExecutor::run(std::size_t unit_count, const UnitFn& fn,
                                 const RunControl& control, std::uint64_t seed) {
-  return run_job(unit_count, fn, nullptr, &control, seed, 0, /*legacy=*/false);
+  return run_job(unit_count, fn, nullptr, &control, nullptr, seed, 0,
+                 /*legacy=*/false);
 }
 
 std::size_t SweepExecutor::default_ordered_window() const noexcept {
@@ -377,7 +394,7 @@ void SweepExecutor::run_ordered(std::size_t unit_count, const UnitFn& fn,
                                 const ReduceFn& reduce, std::uint64_t seed,
                                 std::size_t window) {
   if (window == 0) window = default_ordered_window();
-  run_job(unit_count, fn, &reduce, nullptr, seed, window, /*legacy=*/true);
+  run_job(unit_count, fn, &reduce, nullptr, nullptr, seed, window, /*legacy=*/true);
 }
 
 SweepOutcome SweepExecutor::run_ordered(std::size_t unit_count, const UnitFn& fn,
@@ -385,12 +402,24 @@ SweepOutcome SweepExecutor::run_ordered(std::size_t unit_count, const UnitFn& fn
                                         const RunControl& control,
                                         std::uint64_t seed, std::size_t window) {
   if (window == 0) window = default_ordered_window();
-  return run_job(unit_count, fn, &reduce, &control, seed, window, /*legacy=*/false);
+  return run_job(unit_count, fn, &reduce, &control, nullptr, seed, window,
+                 /*legacy=*/false);
+}
+
+SweepOutcome SweepExecutor::run_ordered(std::size_t unit_count, const UnitFn& fn,
+                                        const ReduceFn& reduce,
+                                        const RunControl& control,
+                                        const AutoCheckpoint& checkpoint,
+                                        std::uint64_t seed, std::size_t window) {
+  if (window == 0) window = default_ordered_window();
+  return run_job(unit_count, fn, &reduce, &control, &checkpoint, seed, window,
+                 /*legacy=*/false);
 }
 
 SweepOutcome SweepExecutor::run_job(std::size_t unit_count, const UnitFn& fn,
                                     const ReduceFn* reduce,
                                     const RunControl* control,
+                                    const AutoCheckpoint* auto_checkpoint,
                                     std::uint64_t seed, std::size_t window,
                                     bool legacy) {
   if (unit_count == 0) return SweepOutcome{};
@@ -426,19 +455,45 @@ SweepOutcome SweepExecutor::run_job(std::size_t unit_count, const UnitFn& fn,
   impl_->next_unit.store(0, std::memory_order_relaxed);
   impl_->executed.store(0, std::memory_order_relaxed);
   impl_->idle_workers = 0;
+  impl_->auto_ckpt =
+      (auto_checkpoint != nullptr && auto_checkpoint->active()) ? auto_checkpoint
+                                                                : nullptr;
+  impl_->auto_checkpoints = 0;
+  impl_->checkpoint_failures = 0;
 
-  // When progress is attached, a monitor thread ticks it on its interval
-  // until the pool drains: snapshot callbacks (the benches' stderr line) and
-  // stall detection run here, never on a worker.  Taking the executor mutex
-  // only to WAIT keeps the monitor off the workers' lock hot path; the tick
-  // itself runs unlocked against the lanes' relaxed atomics.
+  // A monitor thread runs while progress is attached and/or an active
+  // auto-checkpoint is installed: progress ticks (snapshot callbacks, stall
+  // detection) and periodic checkpoints both belong off the worker threads.
+  // Taking the executor mutex only to WAIT keeps the monitor off the
+  // workers' lock hot path; progress ticks and checkpoint persists run
+  // unlocked -- only checkpoint SERIALIZATION runs under the lock, which is
+  // precisely what freezes the watermark and makes the blob a canonical
+  // prefix (see AutoCheckpoint).
   obs::SweepProgress* progress = impl_->telemetry.progress;
   obs::TraceLog* trace = impl_->telemetry.trace;
+  const AutoCheckpoint* ckpt = impl_->auto_ckpt;
   std::thread monitor;
-  if (progress != nullptr) {
-    progress->begin_job(impl_->workers.size(), impl_->claim_limit, obs::now_ns());
-    monitor = std::thread([this, progress, trace] {
-      const std::chrono::nanoseconds interval(progress->options().interval_ns);
+  if (progress != nullptr || ckpt != nullptr) {
+    if (progress != nullptr) {
+      progress->begin_job(impl_->workers.size(), impl_->claim_limit, obs::now_ns());
+    }
+    // Poll granularity: the progress interval and/or the checkpoint period,
+    // whichever is finer.  A pure unit cadence still needs the watermark
+    // observed; 10ms keeps worst-case checkpoint lag far below any fsync.
+    std::chrono::nanoseconds interval = std::chrono::nanoseconds::max();
+    if (progress != nullptr) {
+      interval = std::chrono::nanoseconds(progress->options().interval_ns);
+    }
+    if (ckpt != nullptr) {
+      const std::chrono::nanoseconds ckpt_poll =
+          ckpt->cadence.period.count() > 0
+              ? std::chrono::nanoseconds(ckpt->cadence.period)
+              : std::chrono::nanoseconds(std::chrono::milliseconds(10));
+      interval = std::min(interval, ckpt_poll);
+    }
+    monitor = std::thread([this, progress, trace, ckpt, interval] {
+      auto last_ckpt_time = std::chrono::steady_clock::now();
+      std::size_t last_ckpt_units = 0;
       std::unique_lock<std::mutex> mon_lock(impl_->mutex);
       while (impl_->idle_workers != impl_->workers.size()) {
         if (impl_->job_done.wait_for(mon_lock, interval, [&] {
@@ -446,14 +501,58 @@ SweepOutcome SweepExecutor::run_job(std::size_t unit_count, const UnitFn& fn,
             })) {
           break;
         }
-        mon_lock.unlock();
-        const std::uint64_t stalls_before = progress->stalls_detected();
-        progress->tick(obs::now_ns());
-        if (trace != nullptr && progress->stalls_detected() > stalls_before) {
-          trace->record_instant(obs::SpanKind::kStall, 0, 0,
-                                progress->stalls_detected());
+        if (ckpt != nullptr) {
+          const std::size_t k = impl_->watermark;
+          const auto now = std::chrono::steady_clock::now();
+          const bool unit_due =
+              ckpt->cadence.units != 0 && k >= last_ckpt_units + ckpt->cadence.units;
+          const bool time_due = ckpt->cadence.period.count() != 0 &&
+                                now - last_ckpt_time >= ckpt->cadence.period;
+          if ((unit_due || time_due) && k != last_ckpt_units) {
+            // k > last_ckpt_units always (the watermark is monotone); skip
+            // only when nothing new completed since the last generation.
+            std::string blob;
+            bool sealed = true;
+            try {
+              blob = ckpt->serialize(k);  // under the lock: watermark frozen
+            } catch (...) {
+              sealed = false;
+              ++impl_->checkpoint_failures;
+            }
+            if (sealed) {
+              mon_lock.unlock();
+              bool persisted = true;
+              try {
+                ckpt->persist(k, std::move(blob));
+              } catch (...) {
+                persisted = false;
+              }
+              if (persisted && trace != nullptr) {
+                trace->record_instant(obs::SpanKind::kCheckpoint, 0, k);
+              }
+              mon_lock.lock();
+              if (persisted) {
+                ++impl_->auto_checkpoints;
+                last_ckpt_units = k;
+              } else {
+                ++impl_->checkpoint_failures;
+              }
+            }
+            last_ckpt_time = now;  // re-arm the timer even on failure
+          } else if (unit_due || time_due) {
+            last_ckpt_time = now;  // due but idle: nothing new to persist
+          }
         }
-        mon_lock.lock();
+        if (progress != nullptr) {
+          mon_lock.unlock();
+          const std::uint64_t stalls_before = progress->stalls_detected();
+          progress->tick(obs::now_ns());
+          if (trace != nullptr && progress->stalls_detected() > stalls_before) {
+            trace->record_instant(obs::SpanKind::kStall, 0, 0,
+                                  progress->stalls_detected());
+          }
+          mon_lock.lock();
+        }
       }
     });
   }
@@ -465,6 +564,7 @@ SweepOutcome SweepExecutor::run_job(std::size_t unit_count, const UnitFn& fn,
   impl_->reduce = nullptr;
   impl_->control = nullptr;
   impl_->faults = nullptr;
+  impl_->auto_ckpt = nullptr;  // the monitor holds its own copy until joined
   impl_->job_active = false;
 
   SweepOutcome outcome;
@@ -510,6 +610,10 @@ SweepOutcome SweepExecutor::run_job(std::size_t unit_count, const UnitFn& fn,
   // The monitor holds the mutex while waiting, so it is joined only after
   // the lock is released.
   if (monitor.joinable()) monitor.join();
+  // Checkpoint counters are read AFTER the join: a persist in flight when the
+  // pool drained still completes (and counts) before run_job returns.
+  outcome.auto_checkpoints = impl_->auto_checkpoints;
+  outcome.checkpoint_failures = impl_->checkpoint_failures;
   if (progress != nullptr) progress->end_job(obs::now_ns());
   if (trace != nullptr && truncated) {
     trace->record_instant(obs::SpanKind::kTruncate, 0, truncation_point,

@@ -83,6 +83,36 @@ struct SweepTelemetry {
 /// before they reach the OS as thousands of thread spawns.
 inline constexpr std::size_t kMaxSweepThreads = 4096;
 
+/// Periodic durability hook for controlled ordered sweeps.  When attached,
+/// the executor's monitor thread persists mid-run checkpoints on `cadence`
+/// without ever pausing the sweep:
+///
+///   * serialize(k) runs on the monitor thread UNDER the executor's internal
+///     lock.  reduce() is serialised by that same lock, so the watermark k is
+///     frozen and the caller's streaming reducer state is EXACTLY the
+///     canonical prefix [0, k) -- the blob it returns is bit-identical to the
+///     checkpoint a deadline-stopped run at k would have written.  Keep it to
+///     in-memory encoding (KBs of reducer state); every worker that reaches
+///     its reduce step blocks while it runs.
+///   * persist(k, blob) runs OFF the lock, so fsync/rename latency never
+///     stalls a worker.  By the time it runs the sweep has typically moved
+///     past k; that is fine -- the blob was sealed under the lock.
+///
+/// Either hook throwing counts a checkpoint_failure on the outcome and the
+/// sweep keeps going (a missed checkpoint loses durability, never results).
+/// The driver still owns the FINAL checkpoint after the run returns; this
+/// hook is what bounds the re-execution window when the process dies without
+/// warning (SIGKILL, std::abort) between final checkpoints.
+struct AutoCheckpoint {
+  std::function<std::string(std::size_t completed_units)> serialize;
+  std::function<void(std::size_t completed_units, std::string&& blob)> persist;
+  CheckpointCadence cadence;
+
+  [[nodiscard]] bool active() const noexcept {
+    return serialize != nullptr && persist != nullptr && cadence.any();
+  }
+};
+
 /// Thrown by the legacy (void) run()/run_ordered() overloads when a unit
 /// function throws: carries the failing unit index and the worker that ran
 /// it, with the original exception attached via std::throw_with_nested.
@@ -238,6 +268,17 @@ class SweepExecutor {
                            const ReduceFn& reduce, const RunControl& control,
                            std::uint64_t seed = 0, std::size_t window = 0);
 
+  /// Controlled ordered sweep with periodic auto-checkpointing: the monitor
+  /// thread invokes `checkpoint` on its cadence while the sweep runs (see
+  /// AutoCheckpoint for the exact locking/prefix guarantees).  `checkpoint`
+  /// must outlive the call; an inactive checkpoint (no hooks or no cadence)
+  /// degrades to the plain controlled overload.  Checkpointing is durability
+  /// only: results are bit-identical with it on, off, or failing.
+  SweepOutcome run_ordered(std::size_t unit_count, const UnitFn& fn,
+                           const ReduceFn& reduce, const RunControl& control,
+                           const AutoCheckpoint& checkpoint,
+                           std::uint64_t seed = 0, std::size_t window = 0);
+
   /// The window run_ordered(..., window = 0) selects: wide enough to keep
   /// every worker busy across reduction stalls (4 * thread_count(), floor 16).
   /// Callers sizing slot rings should use this.
@@ -246,7 +287,8 @@ class SweepExecutor {
  private:
   SweepOutcome run_job(std::size_t unit_count, const UnitFn& fn,
                        const ReduceFn* reduce, const RunControl* control,
-                       std::uint64_t seed, std::size_t window, bool legacy);
+                       const AutoCheckpoint* auto_checkpoint, std::uint64_t seed,
+                       std::size_t window, bool legacy);
 
   struct Impl;
   std::unique_ptr<Impl> impl_;

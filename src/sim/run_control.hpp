@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace pr::sim {
@@ -69,6 +70,13 @@ struct SweepOutcome {
   /// entries (error_count keeps the true total).
   std::vector<UnitError> errors;
   std::size_t error_count = 0;
+  /// Periodic checkpoints persisted by the monitor thread during this run
+  /// (excludes any final checkpoint the driver takes after the run returns).
+  std::size_t auto_checkpoints = 0;
+  /// Auto-checkpoint attempts that threw (serialize or persist).  A failed
+  /// checkpoint never perturbs results -- it only loses durability; the sweep
+  /// keeps going and retries at the next cadence tick.
+  std::size_t checkpoint_failures = 0;
 
   static constexpr std::size_t kMaxRecordedErrors = 64;
 
@@ -79,6 +87,37 @@ struct SweepOutcome {
   [[nodiscard]] const UnitError* first_error() const noexcept {
     return errors.empty() ? nullptr : errors.data();
   }
+};
+
+/// How often a sweep should auto-checkpoint: every `units` completed units,
+/// every `period` of wall time, or both (whichever trips first; the trigger
+/// re-arms after each persisted generation).  Zero/unset fields are inactive;
+/// a cadence with any() == false disables periodic checkpointing entirely.
+///
+/// Cadence affects DURABILITY ONLY, never results: every persisted generation
+/// is a canonical prefix [0, k) regardless of when the timer fires, so two
+/// runs with different cadences produce bit-identical final state.
+struct CheckpointCadence {
+  /// Persist after this many newly completed units (0 = no unit trigger).
+  std::size_t units = 0;
+  /// Persist after this much wall time (zero = no time trigger).
+  std::chrono::milliseconds period{0};
+
+  [[nodiscard]] bool any() const noexcept {
+    return units != 0 || period.count() != 0;
+  }
+
+  /// Parses a cadence spec: comma-separated terms, each either
+  ///   "N" or "Nu"  -- every N units
+  ///   "Nms" / "Ns" -- every N milliseconds / seconds
+  /// At most one unit term and one time term; empty/garbage/duplicate terms
+  /// throw std::invalid_argument naming `var` and the full raw value.
+  [[nodiscard]] static CheckpointCadence parse(std::string_view spec,
+                                               const char* var = "cadence");
+
+  /// parse() of $PR_CKPT_EVERY; an unset/empty variable yields an inactive
+  /// cadence (any() == false).
+  [[nodiscard]] static CheckpointCadence from_env();
 };
 
 /// Shared stop-signal bundle for one (or several sequential) controlled

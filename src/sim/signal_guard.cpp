@@ -1,0 +1,76 @@
+#include "sim/signal_guard.hpp"
+
+#include <csignal>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "sim/run_control.hpp"
+
+namespace pr::sim {
+namespace {
+
+// The handler's whole world: a lock-free pointer to the control to cancel and
+// the first signal seen.  RunControl::cancel() is a relaxed store into an
+// std::atomic<bool>, which is async-signal-safe when lock-free (it is on
+// every platform this builds for; the static_assert below pins that down).
+std::atomic<RunControl*> g_control{nullptr};
+std::atomic<int> g_signal{0};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "SignalGuard requires lock-free atomic<bool> for "
+              "async-signal-safe cancellation");
+
+void on_signal(int signo) {
+  int expected = 0;
+  g_signal.compare_exchange_strong(expected, signo, std::memory_order_relaxed);
+  if (RunControl* control = g_control.load(std::memory_order_relaxed)) {
+    control->cancel();
+  }
+}
+
+struct sigaction g_previous_int;
+struct sigaction g_previous_term;
+
+}  // namespace
+
+SignalGuard::SignalGuard(RunControl& control) {
+  RunControl* expected = nullptr;
+  if (!g_control.compare_exchange_strong(expected, &control,
+                                         std::memory_order_relaxed)) {
+    throw std::logic_error(
+        "SignalGuard: another guard is already active in this process "
+        "(rebind() the existing one instead of nesting)");
+  }
+  g_signal.store(0, std::memory_order_relaxed);
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a sweep blocked in a slow syscall (a checkpoint fsync, a
+  // pipe write) should see EINTR and reach its next cancellation check.
+  action.sa_flags = 0;
+  ::sigaction(SIGINT, &action, &g_previous_int);
+  ::sigaction(SIGTERM, &action, &g_previous_term);
+}
+
+SignalGuard::~SignalGuard() {
+  ::sigaction(SIGINT, &g_previous_int, nullptr);
+  ::sigaction(SIGTERM, &g_previous_term, nullptr);
+  g_control.store(nullptr, std::memory_order_relaxed);
+}
+
+void SignalGuard::rebind(RunControl& control) noexcept {
+  g_control.store(&control, std::memory_order_relaxed);
+  // Close the handoff race: a signal delivered between legs (old control
+  // cancelled, new one not yet bound) must still stop the new leg.
+  if (triggered()) control.cancel();
+}
+
+bool SignalGuard::triggered() const noexcept {
+  return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int SignalGuard::signal_number() const noexcept {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace pr::sim

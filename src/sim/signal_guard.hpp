@@ -1,0 +1,58 @@
+// Signal-driven graceful shutdown for long sweeps.
+//
+// SIGINT/SIGTERM are how operators (and supervisors, and CI runners) stop a
+// process; a crash-safe sweep must translate them into the cooperative stop
+// path instead of dying mid-write.  SignalGuard installs handlers that do the
+// ONLY async-signal-safe thing useful here: a lock-free atomic store --
+// RunControl::cancel() -- which the executor's claim loop observes at the
+// next unit boundary.  The sweep then drains to its canonical prefix [0, k),
+// the driver persists a final checkpoint generation, and the process exits
+// with kInterruptedExitStatus so a supervisor can tell "interrupted, state
+// saved, resume me" apart from both success (0) and a crash (anything else).
+//
+// One guard may be active per process at a time (the handler routes through a
+// process-global slot); rebind() retargets it between sweep legs so a bench
+// with several controlled sections keeps one guard for its whole lifetime.
+#pragma once
+
+namespace pr::sim {
+
+class RunControl;
+
+/// Exit status meaning "interrupted by a signal, final checkpoint persisted,
+/// safe to resume" (BSD sysexits' EX_TEMPFAIL).  Distinct from 0 (done), from
+/// generic failures, and from the shell's 128+signo death statuses, so
+/// supervisors can branch on it.
+inline constexpr int kInterruptedExitStatus = 75;
+
+class SignalGuard {
+ public:
+  /// Installs SIGINT + SIGTERM handlers routing to `control.cancel()`.
+  /// Throws std::logic_error if another SignalGuard is already active.
+  explicit SignalGuard(RunControl& control);
+
+  /// Restores the previously installed handlers.
+  ~SignalGuard();
+
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+  /// Retargets the guard at another RunControl (e.g. the next sweep leg).
+  /// If a signal already fired, the new control is cancelled immediately --
+  /// a shutdown request must never be lost in a handoff window.
+  void rebind(RunControl& control) noexcept;
+
+  /// True once SIGINT or SIGTERM was delivered (sticky).
+  [[nodiscard]] bool triggered() const noexcept;
+
+  /// The first delivered signal number (0 when none yet).
+  [[nodiscard]] int signal_number() const noexcept;
+
+  /// kInterruptedExitStatus when triggered, 0 otherwise -- the value a
+  /// draining main() should return.
+  [[nodiscard]] int exit_status() const noexcept {
+    return triggered() ? kInterruptedExitStatus : 0;
+  }
+};
+
+}  // namespace pr::sim

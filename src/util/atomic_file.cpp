@@ -1,0 +1,89 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pr::util {
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* op, int err) {
+  throw AtomicWriteError("atomic_write_file: " + std::string(op) + " failed for '" +
+                         path + "': " + std::strerror(err));
+}
+
+/// Directory part of `path` ("." for a bare filename), for the temp sibling
+/// and the post-rename directory fsync.
+std::string directory_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string filename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string dir = directory_of(path);
+  // Dot-prefixed so directory scans over real artifacts (e.g. checkpoint
+  // generation listings) never pick up an in-flight temp; PID-suffixed so two
+  // processes replacing the same target never write through one temp.
+  const std::string tmp =
+      dir + "/." + filename_of(path) + ".tmp." + std::to_string(::getpid());
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail(tmp, "open", errno);
+
+  const char* cursor = contents.data();
+  std::size_t remaining = contents.size();
+  while (remaining > 0) {
+    const ::ssize_t written = ::write(fd, cursor, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail(tmp, "write", err);
+    }
+    cursor += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(tmp, "fsync", err);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail(tmp, "close", err);
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail(path, "rename", err);
+  }
+
+  // The rename is only durable once the directory entry is flushed; without
+  // this a crash after return could resurface the OLD file, which breaks the
+  // checkpoint store's monotonic-generation reasoning.
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd < 0) fail(dir, "open directory", errno);
+  if (::fsync(dirfd) != 0) {
+    const int err = errno;
+    ::close(dirfd);
+    fail(dir, "fsync directory", err);
+  }
+  ::close(dirfd);
+}
+
+}  // namespace pr::util

@@ -1,0 +1,35 @@
+// Durable atomic file replacement: the write-to-temp + fsync + rename idiom,
+// factored once so every artifact writer in the tree (checkpoint generations,
+// BENCH_*.json, PR_TRACE_EXPORT dumps) shares it.
+//
+// The guarantee is crash-consistency for READERS: after atomic_write_file
+// returns, the target path holds exactly `contents` and has been flushed
+// through the page cache (fsync on the file, then on its directory so the
+// rename itself is durable); if the process dies at ANY point before that,
+// the target either still holds its previous contents or does not exist --
+// it never holds a partial write.  A nightly job that uploads BENCH_*.json,
+// or a resume that reads the newest checkpoint generation, can therefore
+// never observe a torn artifact, only a missing or stale one.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pr::util {
+
+/// Any failure inside atomic_write_file: open/write/fsync/rename errors.
+/// The message names the path, the failing operation and the errno text.
+class AtomicWriteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Atomically replaces `path` with `contents`: writes a dot-prefixed
+/// temporary in the same directory (same filesystem, so the rename is
+/// atomic), fsyncs it, renames it over `path`, and fsyncs the directory.
+/// On any failure the temporary is unlinked and AtomicWriteError is thrown;
+/// the target is never left partially written.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace pr::util

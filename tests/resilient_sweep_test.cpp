@@ -108,6 +108,19 @@ TEST(FaultPlanTest, BuildersAndQueries) {
   plan.fail_at_checkpoint();
   EXPECT_TRUE(plan.fail_checkpoint());
   EXPECT_NE(plan.describe().find("throw in unit 3"), std::string::npos);
+
+  // abort_in_unit is queried like every other hook -- but NEVER executed
+  // in-process here: std::abort() is real (the supervisor tests run it in
+  // child processes).
+  EXPECT_FALSE(plan.should_abort(11));
+  plan.abort_in_unit(11);
+  EXPECT_TRUE(plan.should_abort(11));
+  EXPECT_FALSE(plan.should_abort(12));
+  EXPECT_NE(plan.describe().find("abort in unit 11"), std::string::npos);
+
+  FaultPlan abort_only;
+  abort_only.abort_in_unit(0);
+  EXPECT_FALSE(abort_only.empty());
 }
 
 TEST(FaultPlanTest, FromEnvParsesAndRejects) {
@@ -115,6 +128,7 @@ TEST(FaultPlanTest, FromEnvParsesAndRejects) {
   ::setenv("PR_FAULT_STALL_UNIT", "4:25,9:1", 1);
   ::setenv("PR_FAULT_FAIL_CHECKPOINT", "1", 1);
   ::setenv("PR_FAULT_MALFORMED_UNIT", "6", 1);
+  ::setenv("PR_FAULT_ABORT_UNIT", "12,40", 1);
   FaultPlan plan = FaultPlan::from_env();
   EXPECT_TRUE(plan.should_throw(3));
   EXPECT_TRUE(plan.should_throw(17));
@@ -122,6 +136,9 @@ TEST(FaultPlanTest, FromEnvParsesAndRejects) {
   EXPECT_EQ(plan.stall_for(9), std::chrono::milliseconds(1));
   EXPECT_TRUE(plan.fail_checkpoint());
   EXPECT_TRUE(plan.malformed(6));
+  EXPECT_TRUE(plan.should_abort(12));
+  EXPECT_TRUE(plan.should_abort(40));
+  EXPECT_FALSE(plan.should_abort(13));
 
   // A typo'd plan must throw, not silently inject nothing.
   ::setenv("PR_FAULT_THROW_UNIT", "3x", 1);
@@ -165,11 +182,28 @@ TEST(FaultPlanTest, FromEnvParsesAndRejects) {
   ::setenv("PR_FAULT_STALL_UNIT", "4:25", 1);
   ::setenv("PR_FAULT_MALFORMED_UNIT", "6,6", 1);
   EXPECT_THROW((void)FaultPlan::from_env(), std::invalid_argument);
+  ::setenv("PR_FAULT_MALFORMED_UNIT", "6", 1);
+
+  // PR_FAULT_ABORT_UNIT gets the same strictness: malformed values and
+  // duplicates are configuration errors, never a silent no-op (an abort plan
+  // that quietly parses to nothing would make a crash-resume test vacuous).
+  ::setenv("PR_FAULT_ABORT_UNIT", "12x", 1);
+  try {
+    (void)FaultPlan::from_env();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("PR_FAULT_ABORT_UNIT"), std::string::npos) << what;
+    EXPECT_NE(what.find("12x"), std::string::npos) << what;
+  }
+  ::setenv("PR_FAULT_ABORT_UNIT", "12,12", 1);
+  EXPECT_THROW((void)FaultPlan::from_env(), std::invalid_argument);
 
   ::unsetenv("PR_FAULT_THROW_UNIT");
   ::unsetenv("PR_FAULT_STALL_UNIT");
   ::unsetenv("PR_FAULT_FAIL_CHECKPOINT");
   ::unsetenv("PR_FAULT_MALFORMED_UNIT");
+  ::unsetenv("PR_FAULT_ABORT_UNIT");
   EXPECT_TRUE(FaultPlan::from_env().empty());
 }
 
